@@ -1,0 +1,286 @@
+// Benchmarks regenerating every artefact of the paper's evaluation — one
+// benchmark per table/figure (see DESIGN.md §4) plus ablations. Run:
+//
+//	go test -bench=. -benchmem
+package tightcps_test
+
+import (
+	"testing"
+
+	"tightcps/internal/baseline"
+	"tightcps/internal/mapping"
+	"tightcps/internal/plants"
+	"tightcps/internal/sched"
+	"tightcps/internal/sim"
+	"tightcps/internal/switching"
+	"tightcps/internal/ta"
+	"tightcps/internal/verify"
+)
+
+func motivationalPlant(stable bool) switching.Plant {
+	kE := plants.MotivationalKEStable
+	if !stable {
+		kE = plants.MotivationalKEUnstable
+	}
+	return switching.Plant{Name: "fig", Sys: plants.Motivational(), KT: plants.MotivationalKT,
+		KE: kE, X0: plants.MotivationalX0, JStar: 18, R: 25}
+}
+
+func caseProfiles(b *testing.B, names ...string) []*switching.Profile {
+	b.Helper()
+	ps, err := plants.ProfileList(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ps
+}
+
+// BenchmarkFig2Responses regenerates the five Fig. 2 response curves.
+func BenchmarkFig2Responses(b *testing.B) {
+	stable, unstable := motivationalPlant(true), motivationalPlant(false)
+	seq := make([]switching.Mode, 8)
+	for i := 4; i < 8; i++ {
+		seq[i] = switching.MT
+	}
+	for i := 0; i < b.N; i++ {
+		_ = switching.SimulateSequence(stable, nil, 50)
+		_ = switching.SimulateSequence(unstable, nil, 50)
+		_ = switching.SimulateSequence(stable, seq, 50)
+		_ = switching.SimulateSequence(unstable, seq, 50)
+		if _, ok := switching.SettleAfterSwitch(stable, 0, 4000, switching.Config{}); !ok {
+			b.Fatal("KT trajectory did not settle")
+		}
+	}
+}
+
+// BenchmarkFig3Surface regenerates the settling-time surface for both
+// controller pairs (Fig. 3).
+func BenchmarkFig3Surface(b *testing.B) {
+	stable, unstable := motivationalPlant(true), motivationalPlant(false)
+	for i := 0; i < b.N; i++ {
+		_ = switching.Surface(stable, 10, 8, switching.Config{})
+		_ = switching.Surface(unstable, 10, 8, switching.Config{})
+	}
+}
+
+// BenchmarkFig4Profile regenerates the C1 dwell-time tables (Fig. 4).
+func BenchmarkFig4Profile(b *testing.B) {
+	p := motivationalPlant(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := switching.Compute(p, switching.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Profiles regenerates all six Table 1 rows.
+func BenchmarkTable1Profiles(b *testing.B) {
+	apps := plants.CaseStudy()
+	for i := 0; i < b.N; i++ {
+		for _, a := range apps {
+			if _, err := switching.Compute(plants.SwitchingPlant(a), switching.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMappingProposed regenerates the paper's dimensioning result:
+// first-fit with exact model checking over the six applications (2 slots).
+func BenchmarkMappingProposed(b *testing.B) {
+	ps := caseProfiles(b, "C1", "C2", "C3", "C4", "C5", "C6")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mapping.FirstFit(ps, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Slots) != 2 {
+			b.Fatalf("slots = %d, want 2", len(res.Slots))
+		}
+	}
+}
+
+// BenchmarkMappingBaseline regenerates the baseline [9] dimensioning
+// (4 slots under the calibrated reconstruction).
+func BenchmarkMappingBaseline(b *testing.B) {
+	m, err := plants.Profiles()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := map[string]int{}
+	for n, p := range m {
+		rs[n] = p.R
+	}
+	apps, err := baseline.PaperCalibratedTimings(rs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := []int{0, 4, 3, 5, 1, 2}
+	an := baseline.Analysis{Strategy: baseline.NonPreemptiveDM}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slots := an.FirstFitOrdered(apps, order)
+		if len(slots) != 4 {
+			b.Fatalf("baseline slots = %d, want 4", len(slots))
+		}
+	}
+}
+
+// BenchmarkFig8CoSim regenerates the Fig. 8 co-simulation (slot S1).
+func BenchmarkFig8CoSim(b *testing.B) {
+	ps := caseProfiles(b, "C1", "C5", "C4", "C3")
+	var pls []switching.Plant
+	for _, p := range ps {
+		a, err := plants.ByName(p.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pls = append(pls, plants.SwitchingPlant(a))
+	}
+	r, err := sim.New(pls, ps, plants.SettleTol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Disturbances: []sim.Disturbance{{Sample: 0, App: 0}, {Sample: 0, App: 1}, {Sample: 0, App: 2}, {Sample: 0, App: 3}},
+		Horizon:      120,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Missed {
+			b.Fatal("missed on a verified slot")
+		}
+	}
+}
+
+// BenchmarkFig9CoSim regenerates the Fig. 9 co-simulation (slot S2).
+func BenchmarkFig9CoSim(b *testing.B) {
+	ps := caseProfiles(b, "C6", "C2")
+	var pls []switching.Plant
+	for _, p := range ps {
+		a, err := plants.ByName(p.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pls = append(pls, plants.SwitchingPlant(a))
+	}
+	r, err := sim.New(pls, ps, plants.SettleTol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Disturbances: []sim.Disturbance{{Sample: 0, App: 1}, {Sample: 10, App: 0}},
+		Horizon:      120,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyFull is the paper's hardest verification — the full
+// four-application slot S1 — with the exact (unbounded) model. The paper's
+// UPPAAL run took 5 hours; the packed discrete checker needs well under a
+// second.
+func BenchmarkVerifyFull(b *testing.B) {
+	ps := caseProfiles(b, "C1", "C5", "C4", "C3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Slot(ps, verify.Config{NondetTies: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("S1 must verify")
+		}
+	}
+}
+
+// BenchmarkVerifyBounded is the same verification under the paper's
+// bounded-disturbance acceleration (20× speedup in UPPAAL; in our discrete
+// encoding the counters enlarge the state space instead — the negative
+// result recorded in EXPERIMENTS.md §R2).
+func BenchmarkVerifyBounded(b *testing.B) {
+	ps := caseProfiles(b, "C1", "C5", "C4", "C3")
+	bound := verify.BoundFor(ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Slot(ps, verify.Config{NondetTies: true, MaxDisturbances: bound})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("S1 must verify")
+		}
+	}
+}
+
+// BenchmarkVerifyTANetwork measures the faithful Fig. 5–7 timed-automata
+// network on slot S2 through the generic engine — the UPPAAL-equivalent
+// path (the packed verifier is the production path).
+func BenchmarkVerifyTANetwork(b *testing.B) {
+	ps := caseProfiles(b, "C6", "C2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := verify.CheckNetwork(ps, ta.CheckOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("S2 must verify")
+		}
+	}
+}
+
+// BenchmarkAblationLazyPreemption verifies slot S2 under the future-work
+// lazy-preemption policy (ablation of the design choice in DESIGN.md).
+func BenchmarkAblationLazyPreemption(b *testing.B) {
+	ps := caseProfiles(b, "C6", "C2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Slot(ps, verify.Config{NondetTies: true, Policy: sched.PreemptLazy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("S2 must verify under lazy preemption")
+		}
+	}
+}
+
+// BenchmarkAblationGranularity profiles C1 with a coarse Tw grid — the
+// memory/conservativeness trade-off knob of Sec. 3.
+func BenchmarkAblationGranularity(b *testing.B) {
+	p := motivationalPlant(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := switching.Compute(p, switching.Config{TwGranularity: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalPartition computes the exact minimum slot count over all
+// 63 subsets — the optimality check for the first-fit heuristic.
+func BenchmarkOptimalPartition(b *testing.B) {
+	if testing.Short() {
+		b.Skip("verifies 63 subsets per iteration")
+	}
+	ps := caseProfiles(b, "C1", "C2", "C3", "C4", "C5", "C6")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mapping.Optimal(ps, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Slots) != 2 {
+			b.Fatalf("optimal = %d slots", len(res.Slots))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Motivational example (Sec. 3.1, Figs. 2–4): the DC motor position-control
+// system with one fast TT controller and two candidate ET controllers, one
+// switching-stable and one not — showing why the CQLF condition matters and
+// how the dwell-time tables arise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tightcps/internal/control"
+	"tightcps/internal/plants"
+	"tightcps/internal/switching"
+	"tightcps/internal/textplot"
+)
+
+func main() {
+	sys := plants.Motivational()
+	stable := switching.Plant{Name: "stable", Sys: sys, KT: plants.MotivationalKT,
+		KE: plants.MotivationalKEStable, X0: plants.MotivationalX0, JStar: 18, R: 25}
+	unstable := stable
+	unstable.Name = "unstable"
+	unstable.KE = plants.MotivationalKEUnstable
+
+	// Fig. 2: the four-wait/four-dwell switching experiment.
+	fmt.Println("Fig. 2 — settling times (threshold |y| ≤ 0.02):")
+	for _, c := range []struct {
+		name      string
+		p         switching.Plant
+		tw, dwell int
+	}{
+		{"KT only (dedicated slot)", stable, 0, 4000},
+		{"KsE only", stable, 4000, 0},
+		{"KuE only", unstable, 4000, 0},
+		{"4·KsE + 4·KT + n·KsE", stable, 4, 4},
+		{"4·KuE + 4·KT + n·KuE", unstable, 4, 4},
+	} {
+		j, ok := switching.SettleAfterSwitch(c.p, c.tw, c.dwell, switching.Config{})
+		if !ok {
+			fmt.Printf("  %-26s did not settle\n", c.name)
+			continue
+		}
+		fmt.Printf("  %-26s J = %.2f s\n", c.name, float64(j)*plants.H)
+	}
+
+	// Switching stability: the difference between the two pairs.
+	resS, errS := control.SwitchingStable(sys, plants.MotivationalKT, plants.MotivationalKEStable)
+	resU, errU := control.SwitchingStable(sys, plants.MotivationalKT, plants.MotivationalKEUnstable)
+	fmt.Printf("\nCQLF search: KT+KsE found=%v (margin %.2g), KT+KuE found=%v (err: %v)\n",
+		resS.Found, resS.Margin, resU.Found, errU)
+	if errS != nil {
+		log.Fatal(errS)
+	}
+
+	// Fig. 4: the dwell-time tables for J* = 0.36 s.
+	prof, err := switching.Compute(stable, switching.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFig. 4 — T*w = %d; dwell tables (per Tw):\n", prof.TwStar)
+	fmt.Printf("  Tdw− = %s\n  Tdw+ = %s\n",
+		textplot.IntsCSV(prof.TdwMinus), textplot.IntsCSV(prof.TdwPlus))
+	fmt.Printf("  distinct values: Tdw− %v, Tdw+ %v (few values ⇒ RLE-friendly)\n",
+		switching.DistinctValues(prof.TdwMinus), switching.DistinctValues(prof.TdwPlus))
+}

@@ -1,0 +1,256 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tightcps/internal/lti"
+	"tightcps/internal/mat"
+	"tightcps/internal/plants"
+)
+
+func doubleIntegrator(h float64) *lti.System {
+	phi := mat.FromRows([][]float64{{1, h}, {0, 1}})
+	gamma := mat.FromRows([][]float64{{h * h / 2}, {h}})
+	return lti.MustSystem(phi, gamma, mat.RowVec([]float64{1, 0}), h)
+}
+
+func eigOfClosedLoop(t *testing.T, s *lti.System, k lti.Feedback) []complex128 {
+	t.Helper()
+	eig, err := mat.Eigenvalues(lti.ClosedLoop(s, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eig
+}
+
+func TestPlacePolesReal(t *testing.T) {
+	s := doubleIntegrator(0.1)
+	want := []complex128{0.3, 0.5}
+	k, err := PlacePoles(s, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eigOfClosedLoop(t, s, k)
+	sort.Slice(got, func(i, j int) bool { return real(got[i]) < real(got[j]) })
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("poles %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlacePolesComplexPair(t *testing.T) {
+	s := doubleIntegrator(0.05)
+	want := []complex128{complex(0.4, 0.3), complex(0.4, -0.3)}
+	k, err := PlacePoles(s, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eigOfClosedLoop(t, s, k)
+	for _, g := range got {
+		if math.Abs(cmplx.Abs(g)-0.5) > 1e-8 {
+			t.Fatalf("|pole| = %v, want 0.5", cmplx.Abs(g))
+		}
+	}
+}
+
+func TestPlacePolesOnPaperPlant(t *testing.T) {
+	// Place poles of the motivational DC motor at the locations the paper's
+	// KT actually achieves, and verify we recover (numerically) that gain's
+	// closed-loop spectrum.
+	s := plants.Motivational()
+	target := eigOfClosedLoop(t, s, plants.MotivationalKT)
+	k, err := PlacePoles(s, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eigOfClosedLoop(t, s, k)
+	for i := range got {
+		if cmplx.Abs(got[i]-target[i]) > 1e-6 {
+			t.Fatalf("spectrum %v, want %v", got, target)
+		}
+	}
+	// Gains themselves should agree too (pole placement for SISO is unique).
+	if !mat.EqualApprox(k.K, plants.MotivationalKT.K, 1e-4) {
+		t.Fatalf("recovered gain %v, paper %v", k.K, plants.MotivationalKT.K)
+	}
+}
+
+func TestPlacePolesCountMismatch(t *testing.T) {
+	if _, err := PlacePoles(doubleIntegrator(0.1), []complex128{0.5}); err == nil {
+		t.Fatal("wrong pole count accepted")
+	}
+}
+
+func TestPlacePolesUncontrollable(t *testing.T) {
+	s := lti.MustSystem(mat.Diag([]float64{0.5, 0.6}), mat.ColVec([]float64{0, 0}), mat.RowVec([]float64{1, 0}), 0.1)
+	if _, err := PlacePoles(s, []complex128{0.1, 0.2}); err == nil {
+		t.Fatal("uncontrollable plant accepted")
+	}
+}
+
+func TestDeadbeat(t *testing.T) {
+	s := doubleIntegrator(0.1)
+	k, err := Deadbeat(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mat.SpectralRadius(lti.ClosedLoop(s, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1e-7 {
+		t.Fatalf("deadbeat spectral radius %v", r)
+	}
+	tr := lti.SimulateFeedback(s, k, []float64{1, 1}, 5)
+	if math.Abs(tr.Y[2]) > 1e-9 || math.Abs(tr.Y[3]) > 1e-9 {
+		t.Fatalf("state not dead in n steps: %v", tr.Y)
+	}
+}
+
+func TestDLQRStabilizesAndIsOptimalish(t *testing.T) {
+	s := doubleIntegrator(0.1)
+	q := mat.Identity(2)
+	k, p, err := DLQR(s, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := mat.IsSchurStable(lti.ClosedLoop(s, k))
+	if err != nil || !ok {
+		t.Fatalf("LQR loop unstable (err=%v)", err)
+	}
+	if !mat.IsPositiveDefinite(p) {
+		t.Fatalf("Riccati solution not PD")
+	}
+	// P satisfies the algebraic Riccati equation (residual check).
+	gtp := mat.Mul(s.Gamma.T(), p)
+	den := 1 + mat.Mul(gtp, s.Gamma).At(0, 0)
+	kStar := mat.Scale(1/den, mat.Mul(gtp, s.Phi))
+	resid := mat.Sub(
+		mat.Add(q, mat.Sub(mat.Mul(mat.Mul(s.Phi.T(), p), s.Phi),
+			mat.Mul(mat.Mul(mat.Mul(s.Phi.T(), p), s.Gamma), kStar))),
+		p)
+	if resid.MaxAbs() > 1e-8 {
+		t.Fatalf("ARE residual %v", resid.MaxAbs())
+	}
+}
+
+func TestDLQRRejectsBadArgs(t *testing.T) {
+	s := doubleIntegrator(0.1)
+	if _, _, err := DLQR(s, mat.Identity(3), 1); err == nil {
+		t.Fatal("wrong Q shape accepted")
+	}
+	if _, _, err := DLQR(s, mat.Identity(2), 0); err == nil {
+		t.Fatal("R=0 accepted")
+	}
+}
+
+func TestDlyapKnown(t *testing.T) {
+	// Scalar: a²p − p + q = 0 → p = q/(1−a²).
+	a := mat.FromRows([][]float64{{0.5}})
+	q := mat.FromRows([][]float64{{1}})
+	p, err := Dlyap(a, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.At(0, 0)-1/(1-0.25)) > 1e-12 {
+		t.Fatalf("dlyap scalar = %v", p.At(0, 0))
+	}
+}
+
+// Property: dlyap solution satisfies AᵀPA − P + Q = 0 and is PD for PD Q on
+// random stable A.
+func TestDlyapResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		a := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, 0.4*r.NormFloat64()/float64(n))
+			}
+		}
+		q := mat.Identity(n)
+		p, err := Dlyap(a, q)
+		if err != nil {
+			return false
+		}
+		resid := mat.Add(mat.Sub(mat.Mul(mat.Mul(a.T(), p), a), p), q)
+		return resid.MaxAbs() < 1e-8 && mat.IsPositiveDefinite(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDlyapShapeErrors(t *testing.T) {
+	if _, err := Dlyap(mat.New(2, 3), mat.Identity(2)); err == nil {
+		t.Fatal("non-square A accepted")
+	}
+	if _, err := Dlyap(mat.Identity(2), mat.Identity(3)); err == nil {
+		t.Fatal("mismatched Q accepted")
+	}
+}
+
+func TestPlaceObserverErrorDynamics(t *testing.T) {
+	s := doubleIntegrator(0.1)
+	want := []complex128{0.1, 0.2}
+	l, err := PlaceObserver(s, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errDyn := mat.Sub(s.Phi, mat.Mul(l, s.C))
+	eig, err := mat.Eigenvalues(errDyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(eig, func(i, j int) bool { return real(eig[i]) < real(eig[j]) })
+	for i := range want {
+		if cmplx.Abs(eig[i]-want[i]) > 1e-8 {
+			t.Fatalf("observer poles %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestObserverConvergesAndFeedsController(t *testing.T) {
+	// Output-feedback loop: deadbeat controller on observer estimates; the
+	// estimate and the plant state must converge despite a wrong initial
+	// estimate.
+	s := doubleIntegrator(0.1)
+	l, err := PlaceObserver(s, []complex128{0.05, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Deadbeat(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObserver(s, l, []float64{0, 0}) // wrong: plant starts at (1, −1)
+	x := []float64{1, -1}
+	for step := 0; step < 60; step++ {
+		u := k.U(obs.Estimate())
+		y := s.Output(x)
+		obs.Update(u, y)
+		x = s.Step(x, u)
+	}
+	if math.Abs(x[0]) > 1e-6 || math.Abs(x[1]) > 1e-6 {
+		t.Fatalf("output feedback did not regulate: x=%v", x)
+	}
+	est := obs.Estimate()
+	if math.Abs(est[0]-x[0]) > 1e-6 || math.Abs(est[1]-x[1]) > 1e-6 {
+		t.Fatalf("estimate did not converge: %v vs %v", est, x)
+	}
+}
+
+func TestPlaceObserverUnobservable(t *testing.T) {
+	s := lti.MustSystem(mat.Diag([]float64{0.5, 0.6}), mat.ColVec([]float64{1, 1}), mat.RowVec([]float64{0, 0}), 0.1)
+	if _, err := PlaceObserver(s, []complex128{0.1, 0.2}); err == nil {
+		t.Fatal("unobservable plant accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package control
+
+import (
+	"tightcps/internal/lti"
+	"tightcps/internal/mat"
+)
+
+// PlaceObserver designs a Luenberger observer gain L (n×1) such that the
+// estimation-error dynamics Φ − L·C have the desired eigenvalues, by pole
+// placement on the dual system (Φᵀ, Cᵀ). The observer is
+//
+//	x̂[k+1] = Φ·x̂[k] + Γ·u[k] + L·(y[k] − C·x̂[k]).
+//
+// Useful when an application's full state is not measurable and the
+// switching controllers must run on estimates.
+func PlaceObserver(s *lti.System, poles []complex128) (*mat.Matrix, error) {
+	dual, err := lti.NewSystem(s.Phi.T(), s.C.T(), s.Gamma.T(), s.H)
+	if err != nil {
+		return nil, err
+	}
+	k, err := PlacePoles(dual, poles)
+	if err != nil {
+		return nil, err
+	}
+	return k.K.T(), nil
+}
+
+// Observer simulates a Luenberger observer alongside a plant.
+type Observer struct {
+	sys *lti.System
+	l   *mat.Matrix
+	xh  []float64
+}
+
+// NewObserver creates an observer with gain l starting from estimate xh0
+// (zero when nil).
+func NewObserver(s *lti.System, l *mat.Matrix, xh0 []float64) *Observer {
+	xh := make([]float64, s.Order())
+	copy(xh, xh0)
+	return &Observer{sys: s, l: l, xh: xh}
+}
+
+// Estimate returns a copy of the current state estimate.
+func (o *Observer) Estimate() []float64 {
+	return append([]float64(nil), o.xh...)
+}
+
+// Update advances the estimate one sample given the applied input u and the
+// measured output y.
+func (o *Observer) Update(u, y float64) {
+	innov := y - o.sys.Output(o.xh)
+	next := o.sys.Step(o.xh, u)
+	for i := range next {
+		next[i] += o.l.At(i, 0) * innov
+	}
+	o.xh = next
+}

@@ -1,0 +1,144 @@
+// Package core is the library facade: it ties the offline switching
+// analysis, the exact model-checking verification and the first-fit mapping
+// into the paper's end-to-end flow —
+//
+//	applications → switching profiles → verified slot partition.
+//
+// A downstream user describes each application (plant, the two controllers,
+// requirement J*, inter-arrival bound r) and receives a dimensioned TT-slot
+// allocation with control performance guaranteed in every admissible
+// disturbance scenario.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tightcps/internal/control"
+	"tightcps/internal/lti"
+	"tightcps/internal/mapping"
+	"tightcps/internal/sched"
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// App describes one distributed control application.
+type App struct {
+	Name  string
+	Plant *lti.System
+	KT    lti.Feedback // fast controller (TT communication, order n)
+	KE    lti.Feedback // delay-tolerant controller (ET communication, order n+1)
+	X0    []float64    // post-disturbance state
+	JStar int          // settling requirement, samples
+	R     int          // minimum disturbance inter-arrival, samples
+}
+
+// Options tunes the dimensioning flow.
+type Options struct {
+	Switching switching.Config       // offline analysis knobs
+	Verify    verify.Config          // model-checking knobs
+	Policy    sched.PreemptionPolicy // runtime policy to verify
+	// CheckSwitchingStability requires a common quadratic Lyapunov function
+	// for every application's (KT, KE) pair before profiling, as Sec. 3
+	// recommends. Applications failing the check abort the run.
+	CheckSwitchingStability bool
+}
+
+// Allocation is the dimensioning result.
+type Allocation struct {
+	Profiles []*switching.Profile
+	Slots    [][]int // per TT slot: indices into Apps/Profiles
+	// Verifications counts slot-sharing model-checking runs.
+	Verifications int
+	// Stability holds the CQLF results when the stability check ran.
+	Stability []control.CQLFResult
+}
+
+// SlotNames renders the allocation with application names.
+func (a *Allocation) SlotNames() [][]string {
+	out := make([][]string, len(a.Slots))
+	for si, slot := range a.Slots {
+		for _, i := range slot {
+			out[si] = append(out[si], a.Profiles[i].Name)
+		}
+	}
+	return out
+}
+
+// ErrNotSwitchingStable is returned when CheckSwitchingStability is set and
+// no CQLF is found for some application.
+var ErrNotSwitchingStable = errors.New("core: controller pair not switching stable")
+
+// Dimensioner runs the end-to-end flow for a set of applications.
+type Dimensioner struct {
+	Apps []App
+	Opts Options
+}
+
+// Profile computes the switching profile of a single application.
+func Profile(a App, cfg switching.Config) (*switching.Profile, error) {
+	return switching.Compute(plantOf(a), cfg)
+}
+
+func plantOf(a App) switching.Plant {
+	return switching.Plant{Name: a.Name, Sys: a.Plant, KT: a.KT, KE: a.KE,
+		X0: a.X0, JStar: a.JStar, R: a.R}
+}
+
+// Dimension executes: (optional) switching-stability certification, profile
+// computation, then verified first-fit slot mapping.
+func (d *Dimensioner) Dimension() (*Allocation, error) {
+	if len(d.Apps) == 0 {
+		return nil, errors.New("core: no applications")
+	}
+	alloc := &Allocation{}
+	for _, a := range d.Apps {
+		if d.Opts.CheckSwitchingStability {
+			res, err := control.SwitchingStable(a.Plant, a.KT, a.KE)
+			if err != nil || !res.Found {
+				return nil, fmt.Errorf("%w: %s", ErrNotSwitchingStable, a.Name)
+			}
+			alloc.Stability = append(alloc.Stability, res)
+		}
+		p, err := Profile(a, d.Opts.Switching)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", a.Name, err)
+		}
+		alloc.Profiles = append(alloc.Profiles, p)
+	}
+	vf := func(ps []*switching.Profile) (bool, error) {
+		cfg := d.Opts.Verify
+		cfg.NondetTies = true
+		cfg.Policy = d.Opts.Policy
+		res, err := verify.Slot(ps, cfg)
+		if err != nil {
+			return false, err
+		}
+		return res.Schedulable, nil
+	}
+	res, err := mapping.FirstFit(alloc.Profiles, vf)
+	if err != nil {
+		return nil, err
+	}
+	alloc.Slots = res.Slots
+	alloc.Verifications = res.Verifications
+	return alloc, nil
+}
+
+// VerifySlotSharing checks whether the given applications can share one TT
+// slot, returning the detailed verification result.
+func VerifySlotSharing(apps []App, opts Options) (verify.Result, []*switching.Profile, error) {
+	var ps []*switching.Profile
+	for _, a := range apps {
+		p, err := Profile(a, opts.Switching)
+		if err != nil {
+			return verify.Result{}, nil, err
+		}
+		ps = append(ps, p)
+	}
+	cfg := opts.Verify
+	cfg.NondetTies = true
+	cfg.Policy = opts.Policy
+	res, err := verify.Slot(ps, cfg)
+	return res, ps, err
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tightcps/internal/plants"
+	"tightcps/internal/switching"
+)
+
+func caseApps() []App {
+	var out []App
+	for _, a := range plants.CaseStudy() {
+		out = append(out, App{Name: a.Name, Plant: a.Plant, KT: a.KT, KE: a.KE,
+			X0: a.X0, JStar: a.JStar, R: a.R})
+	}
+	return out
+}
+
+// TestEndToEndDimensioning runs the whole pipeline on the case study and
+// must land on the paper's 2-slot allocation.
+func TestEndToEndDimensioning(t *testing.T) {
+	d := &Dimensioner{Apps: caseApps()}
+	alloc, err := d.Dimension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := alloc.SlotNames()
+	want := [][]string{{"C1", "C5", "C4", "C3"}, {"C6", "C2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("allocation %v, want %v", got, want)
+	}
+	if alloc.Verifications != 6 {
+		t.Fatalf("verifications = %d, want 6", alloc.Verifications)
+	}
+}
+
+// TestDimensionWithStabilityCheck also certifies every pair's CQLF.
+func TestDimensionWithStabilityCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CQLF searches + full profiling")
+	}
+	d := &Dimensioner{Apps: caseApps(), Opts: Options{CheckSwitchingStability: true}}
+	alloc, err := d.Dimension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Stability) != 6 {
+		t.Fatalf("stability results = %d", len(alloc.Stability))
+	}
+	for i, s := range alloc.Stability {
+		if !s.Found || s.Margin <= 0 {
+			t.Errorf("app %d: CQLF missing", i)
+		}
+	}
+}
+
+// TestStabilityCheckRejectsUnstablePair: swapping in the unstable KuE for
+// C1 must abort the dimensioning with ErrNotSwitchingStable.
+func TestStabilityCheckRejectsUnstablePair(t *testing.T) {
+	apps := caseApps()
+	apps[0].KE = plants.MotivationalKEUnstable
+	d := &Dimensioner{Apps: apps[:1], Opts: Options{CheckSwitchingStability: true}}
+	_, err := d.Dimension()
+	if !errors.Is(err, ErrNotSwitchingStable) {
+		t.Fatalf("want ErrNotSwitchingStable, got %v", err)
+	}
+}
+
+func TestDimensionEmpty(t *testing.T) {
+	d := &Dimensioner{}
+	if _, err := d.Dimension(); err == nil {
+		t.Fatal("empty app set accepted")
+	}
+}
+
+func TestProfileSingleApp(t *testing.T) {
+	a := caseApps()[0]
+	p, err := Profile(a, switching.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TwStar != 11 || p.JT != 9 {
+		t.Fatalf("C1 profile: T*w=%d JT=%d", p.TwStar, p.JT)
+	}
+}
+
+func TestVerifySlotSharing(t *testing.T) {
+	apps := caseApps()
+	// C6 + C2 share (paper slot S2).
+	res, ps, err := VerifySlotSharing([]App{apps[5], apps[1]}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || len(ps) != 2 {
+		t.Fatalf("S2 sharing rejected: %+v", res)
+	}
+}

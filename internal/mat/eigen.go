@@ -1,0 +1,328 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoConvergence is returned when the QR iteration fails to converge.
+var ErrNoConvergence = errors.New("mat: eigenvalue iteration did not converge")
+
+const machEps = 2.220446049250313e-16
+
+// Hessenberg reduces a square matrix to upper Hessenberg form by Householder
+// similarity transformations and returns the reduced matrix. The input is not
+// modified. The result has the same eigenvalues as the input.
+func Hessenberg(a *Matrix) *Matrix {
+	if a.rows != a.cols {
+		panic(ErrDimension)
+	}
+	n := a.rows
+	h := a.Clone()
+	v := make([]float64, n)
+	for k := 0; k < n-2; k++ {
+		// Householder vector for column k, rows k+1..n-1.
+		norm := 0.0
+		for i := k + 1; i < n; i++ {
+			norm += h.data[i*n+k] * h.data[i*n+k]
+		}
+		norm = math.Sqrt(norm)
+		if norm < machEps*(1+h.MaxAbs()) {
+			continue
+		}
+		alpha := -norm
+		if h.data[(k+1)*n+k] < 0 {
+			alpha = norm
+		}
+		vnorm := 0.0
+		for i := k + 1; i < n; i++ {
+			v[i] = h.data[i*n+k]
+			if i == k+1 {
+				v[i] -= alpha
+			}
+			vnorm += v[i] * v[i]
+		}
+		vnorm = math.Sqrt(vnorm)
+		if vnorm == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			v[i] /= vnorm
+		}
+		// A ← H·A with H = I − 2vvᵀ acting on rows k+1..n-1.
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += v[i] * h.data[i*n+j]
+			}
+			s *= 2
+			for i := k + 1; i < n; i++ {
+				h.data[i*n+j] -= s * v[i]
+			}
+		}
+		// A ← A·H acting on columns k+1..n-1.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := k + 1; j < n; j++ {
+				s += h.data[i*n+j] * v[j]
+			}
+			s *= 2
+			for j := k + 1; j < n; j++ {
+				h.data[i*n+j] -= s * v[j]
+			}
+		}
+		// Clean the annihilated entries.
+		h.data[(k+1)*n+k] = alpha
+		for i := k + 2; i < n; i++ {
+			h.data[i*n+k] = 0
+		}
+	}
+	return h
+}
+
+// Eigenvalues returns all eigenvalues of a square matrix, sorted by real
+// part then imaginary part. It reduces to Hessenberg form and runs a
+// Francis double-shift QR iteration (the classic hqr algorithm).
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	if a.rows != a.cols {
+		panic(ErrDimension)
+	}
+	n := a.rows
+	if n == 1 {
+		return []complex128{complex(a.data[0], 0)}, nil
+	}
+	h := Hessenberg(a)
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := hqr(h, wr, wi); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(wr[i], wi[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if real(out[i]) != real(out[j]) {
+			return real(out[i]) < real(out[j])
+		}
+		return imag(out[i]) < imag(out[j])
+	})
+	return out, nil
+}
+
+// SpectralRadius returns max |λ| over the eigenvalues of a.
+func SpectralRadius(a *Matrix) (float64, error) {
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	r := 0.0
+	for _, l := range eig {
+		if m := cmplxAbs(l); m > r {
+			r = m
+		}
+	}
+	return r, nil
+}
+
+// IsSchurStable reports whether all eigenvalues of a lie strictly inside the
+// unit circle (discrete-time asymptotic stability).
+func IsSchurStable(a *Matrix) (bool, error) {
+	r, err := SpectralRadius(a)
+	if err != nil {
+		return false, err
+	}
+	return r < 1, nil
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+func sign(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// hqr finds the eigenvalues of an upper Hessenberg matrix h (destroyed) via
+// the Francis double-shift QR iteration. Adapted from the classic EISPACK
+// hqr routine (0-indexed).
+func hqr(h *Matrix, wr, wi []float64) error {
+	n := h.rows
+	a := func(i, j int) float64 { return h.data[i*n+j] }
+	set := func(i, j int, v float64) { h.data[i*n+j] = v }
+
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		for j := maxInt(i-1, 0); j < n; j++ {
+			anorm += math.Abs(a(i, j))
+		}
+	}
+	if anorm == 0 {
+		return nil // zero matrix
+	}
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s := math.Abs(a(l-1, l-1)) + math.Abs(a(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a(l, l-1)) <= machEps*s {
+					set(l, l-1, 0)
+					break
+				}
+			}
+			x := a(nn, nn)
+			if l == nn {
+				// One real root found.
+				wr[nn] = x + t
+				wi[nn] = 0
+				nn--
+				break
+			}
+			y := a(nn-1, nn-1)
+			w := a(nn, nn-1) * a(nn-1, nn)
+			if l == nn-1 {
+				// Two roots found.
+				p := 0.5 * (y - x)
+				q := p*p + w
+				z := math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					z = p + sign(z, p)
+					wr[nn-1] = x + z
+					wr[nn] = wr[nn-1]
+					if z != 0 {
+						wr[nn] = x - w/z
+					}
+					wi[nn-1], wi[nn] = 0, 0
+				} else {
+					wr[nn-1] = x + p
+					wr[nn] = x + p
+					wi[nn] = z
+					wi[nn-1] = -z
+				}
+				nn -= 2
+				break
+			}
+			// No roots yet; continue iterating.
+			if its == 60 {
+				return ErrNoConvergence
+			}
+			if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+				// Exceptional shift.
+				t += x
+				for i := 0; i <= nn; i++ {
+					set(i, i, a(i, i)-x)
+				}
+				s := math.Abs(a(nn, nn-1)) + math.Abs(a(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			// Form shift and look for two consecutive small subdiagonals.
+			var m int
+			var p, q, r, z float64
+			for m = nn - 2; m >= l; m-- {
+				z = a(m, m)
+				rr := x - z
+				ss := y - z
+				p = (rr*ss-w)/a(m+1, m) + a(m, m+1)
+				q = a(m+1, m+1) - z - rr - ss
+				r = a(m+2, m+1)
+				s := math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u := math.Abs(a(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(a(m-1, m-1)) + math.Abs(z) + math.Abs(a(m+1, m+1)))
+				if u <= machEps*v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				set(i, i-2, 0)
+				if i != m+2 {
+					set(i, i-3, 0)
+				}
+			}
+			// Double QR step on rows l..nn and columns m..nn.
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = a(k, k-1)
+					q = a(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = a(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s := sign(math.Sqrt(p*p+q*q+r*r), p)
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						set(k, k-1, -a(k, k-1))
+					}
+				} else {
+					set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					pp := a(k, j) + q*a(k+1, j)
+					if k != nn-1 {
+						pp += r * a(k+2, j)
+						set(k+2, j, a(k+2, j)-pp*z)
+					}
+					set(k+1, j, a(k+1, j)-pp*y)
+					set(k, j, a(k, j)-pp*x)
+				}
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				// Column modification.
+				for i := l; i <= mmin; i++ {
+					pp := x*a(i, k) + y*a(i, k+1)
+					if k != nn-1 {
+						pp += z * a(i, k+2)
+						set(i, k+2, a(i, k+2)-pp*r)
+					}
+					set(i, k+1, a(i, k+1)-pp*q)
+					set(i, k, a(i, k)-pp)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package mat
+
+import "math"
+
+// QRP holds a column-pivoted Householder QR factorisation A·P = Q·R, used
+// for numerically robust rank decisions (the controllability and
+// observability tests in the lti package rely on it).
+type QRP struct {
+	qr         *Matrix // packed Householder vectors + R
+	rows, cols int
+	piv        []int
+	rdag       []float64 // |R[k][k]| in pivot order
+}
+
+// FactorQRP computes the column-pivoted QR factorisation of a (any shape).
+func FactorQRP(a *Matrix) *QRP {
+	m, n := a.rows, a.cols
+	qr := a.Clone()
+	piv := make([]int, n)
+	norms := make([]float64, n)
+	for j := 0; j < n; j++ {
+		piv[j] = j
+		s := 0.0
+		for i := 0; i < m; i++ {
+			v := qr.data[i*n+j]
+			s += v * v
+		}
+		norms[j] = s
+	}
+	steps := m
+	if n < m {
+		steps = n
+	}
+	rdiag := make([]float64, 0, steps)
+	for k := 0; k < steps; k++ {
+		// Pivot: bring the column with the largest remaining norm to k.
+		best := k
+		for j := k + 1; j < n; j++ {
+			if norms[j] > norms[best] {
+				best = j
+			}
+		}
+		if best != k {
+			for i := 0; i < m; i++ {
+				qr.data[i*n+k], qr.data[i*n+best] = qr.data[i*n+best], qr.data[i*n+k]
+			}
+			piv[k], piv[best] = piv[best], piv[k]
+			norms[k], norms[best] = norms[best], norms[k]
+		}
+		// Householder vector for column k below the diagonal.
+		alpha := 0.0
+		for i := k; i < m; i++ {
+			v := qr.data[i*n+k]
+			alpha += v * v
+		}
+		alpha = math.Sqrt(alpha)
+		if qr.data[k*n+k] > 0 {
+			alpha = -alpha
+		}
+		rdiag = append(rdiag, math.Abs(alpha))
+		if alpha == 0 {
+			continue
+		}
+		// v = x − α·e1, normalised so v[k] carries the factor.
+		qr.data[k*n+k] -= alpha
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			vnorm2 += qr.data[i*n+k] * qr.data[i*n+k]
+		}
+		if vnorm2 == 0 {
+			qr.data[k*n+k] = alpha
+			continue
+		}
+		// Apply H = I − 2vvᵀ/‖v‖² to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += qr.data[i*n+k] * qr.data[i*n+j]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				qr.data[i*n+j] -= f * qr.data[i*n+k]
+			}
+		}
+		// Store α as the R diagonal; keep v below (packed form).
+		qr.data[k*n+k] = alpha
+		// Downdate column norms.
+		for j := k + 1; j < n; j++ {
+			v := qr.data[k*n+j]
+			norms[j] -= v * v
+			if norms[j] < 0 {
+				norms[j] = 0
+			}
+		}
+	}
+	return &QRP{qr: qr, rows: m, cols: n, piv: piv, rdag: rdiag}
+}
+
+// Rank returns the numerical rank relative to tol·|R[0][0]| (tol defaults
+// to 1e-10 when ≤ 0).
+func (f *QRP) Rank(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if len(f.rdag) == 0 || f.rdag[0] == 0 {
+		return 0
+	}
+	thresh := tol * f.rdag[0]
+	r := 0
+	for _, d := range f.rdag {
+		if d > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// Rank returns the numerical rank of a via column-pivoted QR.
+func Rank(a *Matrix) int {
+	return FactorQRP(a).Rank(0)
+}

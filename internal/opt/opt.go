@@ -1,0 +1,210 @@
+// Package opt provides small derivative-free optimisation routines used by
+// the controller-design layer: Nelder–Mead simplex search, golden-section
+// line search, and exhaustive grid search. They are sized for the low-
+// dimensional (≤ ~15 parameters) problems arising in common-Lyapunov-
+// function search and design sweeps.
+package opt
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadArgs is returned for invalid optimisation arguments.
+var ErrBadArgs = errors.New("opt: invalid arguments")
+
+// Result is the outcome of a minimisation.
+type Result struct {
+	X     []float64 // best point found
+	F     float64   // objective at X
+	Iters int       // iterations used
+}
+
+// NelderMeadOptions tunes the simplex search.
+type NelderMeadOptions struct {
+	MaxIters int     // maximum iterations (default 200·dim)
+	TolF     float64 // stop when simplex f-spread falls below TolF (default 1e-10)
+	Step     float64 // initial simplex step (default 0.5)
+}
+
+// NelderMead minimises f starting from x0 using the Nelder–Mead simplex
+// method with standard reflection/expansion/contraction/shrink coefficients.
+func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, ErrBadArgs
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 200 * n
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-10
+	}
+	if o.Step <= 0 {
+		o.Step = 0.5
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	// Initial simplex.
+	pts := make([][]float64, n+1)
+	fs := make([]float64, n+1)
+	pts[0] = append([]float64(nil), x0...)
+	for i := 1; i <= n; i++ {
+		p := append([]float64(nil), x0...)
+		p[i-1] += o.Step
+		pts[i] = p
+	}
+	for i := range pts {
+		fs[i] = f(pts[i])
+	}
+	order := func() {
+		idx := make([]int, n+1)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return fs[idx[a]] < fs[idx[b]] })
+		np := make([][]float64, n+1)
+		nf := make([]float64, n+1)
+		for i, j := range idx {
+			np[i], nf[i] = pts[j], fs[j]
+		}
+		copy(pts, np)
+		copy(fs, nf)
+	}
+	centroid := func() []float64 {
+		c := make([]float64, n)
+		for i := 0; i < n; i++ { // exclude worst
+			for j := 0; j < n; j++ {
+				c[j] += pts[i][j]
+			}
+		}
+		for j := range c {
+			c[j] /= float64(n)
+		}
+		return c
+	}
+	combine := func(c, x []float64, t float64) []float64 {
+		out := make([]float64, n)
+		for j := range out {
+			out[j] = c[j] + t*(x[j]-c[j])
+		}
+		return out
+	}
+	var it int
+	for it = 0; it < o.MaxIters; it++ {
+		order()
+		if math.Abs(fs[n]-fs[0]) < o.TolF {
+			break
+		}
+		c := centroid()
+		xr := combine(c, pts[n], -alpha)
+		fr := f(xr)
+		switch {
+		case fr < fs[0]:
+			xe := combine(c, pts[n], -gamma)
+			fe := f(xe)
+			if fe < fr {
+				pts[n], fs[n] = xe, fe
+			} else {
+				pts[n], fs[n] = xr, fr
+			}
+		case fr < fs[n-1]:
+			pts[n], fs[n] = xr, fr
+		default:
+			xc := combine(c, pts[n], rho)
+			fc := f(xc)
+			if fc < fs[n] {
+				pts[n], fs[n] = xc, fc
+			} else {
+				for i := 1; i <= n; i++ {
+					pts[i] = combine(pts[0], pts[i], sigma)
+					fs[i] = f(pts[i])
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: pts[0], F: fs[0], Iters: it}, nil
+}
+
+// GoldenSection minimises a unimodal f on [a, b] to within tol.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (float64, float64, error) {
+	if b <= a || tol <= 0 {
+		return 0, 0, ErrBadArgs
+	}
+	phi := (math.Sqrt(5) - 1) / 2
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	x := (a + b) / 2
+	return x, f(x), nil
+}
+
+// GridSearch minimises f over the Cartesian product of the given axes and
+// returns the best point. Axes must be non-empty.
+func GridSearch(f func([]float64) float64, axes [][]float64) (Result, error) {
+	if len(axes) == 0 {
+		return Result{}, ErrBadArgs
+	}
+	for _, ax := range axes {
+		if len(ax) == 0 {
+			return Result{}, ErrBadArgs
+		}
+	}
+	idx := make([]int, len(axes))
+	x := make([]float64, len(axes))
+	best := Result{F: math.Inf(1)}
+	count := 0
+	for {
+		for i, ax := range axes {
+			x[i] = ax[idx[i]]
+		}
+		if v := f(x); v < best.F {
+			best.F = v
+			best.X = append([]float64(nil), x...)
+		}
+		count++
+		// Advance the multi-index.
+		i := 0
+		for ; i < len(axes); i++ {
+			idx[i]++
+			if idx[i] < len(axes[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(axes) {
+			break
+		}
+	}
+	best.Iters = count
+	return best, nil
+}
+
+// Linspace returns n evenly spaced values over [a, b] inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a + (b-a)*float64(i)/float64(n-1)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// f(x) = (x0−1)² + 2(x1+2)²
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + 2*(x[1]+2)*(x[1]+2)
+	}
+	res, err := NelderMead(f, []float64{5, 5}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]+2) > 1e-4 {
+		t.Fatalf("minimum at %v, want (1,−2)", res.X)
+	}
+	if res.F > 1e-7 {
+		t.Fatalf("objective %v not near zero", res.F)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1); f=%v", res.X, res.F)
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	if _, err := NelderMead(func(x []float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("empty x0 accepted")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, fx, err := GoldenSection(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 10, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2.5) > 1e-6 || fx > 1e-10 {
+		t.Fatalf("golden section: x=%v f=%v", x, fx)
+	}
+	if _, _, err := GoldenSection(math.Sin, 2, 1, 1e-8); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if _, _, err := GoldenSection(math.Sin, 0, 1, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	f := func(x []float64) float64 { return math.Abs(x[0]-3) + math.Abs(x[1]+1) }
+	res, err := GridSearch(f, [][]float64{Linspace(0, 5, 6), Linspace(-2, 2, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 3 || res.X[1] != -1 {
+		t.Fatalf("grid minimum at %v, want (3,−1)", res.X)
+	}
+	if res.Iters != 30 {
+		t.Fatalf("evaluated %d points, want 30", res.Iters)
+	}
+	if _, err := GridSearch(f, nil); err == nil {
+		t.Fatal("empty axes accepted")
+	}
+	if _, err := GridSearch(f, [][]float64{{1}, {}}); err == nil {
+		t.Fatal("empty axis accepted")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	v := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-15 {
+			t.Fatalf("Linspace = %v", v)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Linspace n=1 = %v", got)
+	}
+}

@@ -1,0 +1,451 @@
+// Package switching implements the paper's core offline analysis (Sec. 3):
+// the bi-modal switched closed loop and the exhaustive simulation over all
+// switching sequences permitted by the proposed strategy, producing for each
+// application the settling times JT and JE, the dwell-time tables Tdw−(Tw)
+// and Tdw+(Tw), and the maximum tolerable wait T*w.
+//
+// Semantics (shared with the scheduler, the co-simulator and the verifier):
+// a disturbance at sample 0 puts the plant at x0 with the held input u[−1]=0.
+// The application runs in mode ME (controller KE over ET communication, one
+// sample input delay) for Tw samples, then in mode MT (controller KT over a
+// TT slot, no delay) for Tdw samples, then in ME again until it settles.
+// Settling time J is the first sample index after which |y| never exceeds
+// the tolerance.
+package switching
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"tightcps/internal/lti"
+)
+
+// Config parameterises the offline profile computation.
+type Config struct {
+	// Tol is the settling threshold on |y| (default 0.02).
+	Tol float64
+	// Horizon is the simulation length in samples used to decide settling
+	// (default 4000). Trajectories that have not settled within Horizon are
+	// treated as never settling.
+	Horizon int
+	// MaxDwell caps the dwell times examined (default 4·J*; the useful
+	// dwell never exceeds the time to settle fully inside MT).
+	MaxDwell int
+	// TwGranularity coarsens the wait-time grid: tables are computed only
+	// for Tw that are multiples of this value, and lookups round the actual
+	// wait *up* to the next grid point (conservative). Default 1 (exact).
+	TwGranularity int
+	// Workers bounds the goroutines used for the per-Tw dwell sweeps
+	// (they are independent). 0 uses GOMAXPROCS; 1 forces serial. The
+	// result is identical either way.
+	Workers int
+}
+
+func (c Config) withDefaults(jStar int) Config {
+	if c.Tol <= 0 {
+		c.Tol = 0.02
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 4000
+	}
+	if c.MaxDwell <= 0 {
+		c.MaxDwell = 4 * jStar
+		if c.MaxDwell < 40 {
+			c.MaxDwell = 40
+		}
+	}
+	if c.TwGranularity <= 0 {
+		c.TwGranularity = 1
+	}
+	return c
+}
+
+// Profile is the precomputed switching profile of one application — exactly
+// the data a Table 1 row reports, plus bookkeeping.
+type Profile struct {
+	Name  string
+	JStar int // settling requirement (samples)
+	R     int // minimum disturbance inter-arrival (samples)
+
+	JT int // settling time with a dedicated TT slot (pure MT)
+	JE int // settling time on ET only (pure ME); may exceed Horizon sentinel
+
+	TwStar   int   // maximum wait for which the requirement remains attainable
+	TdwMinus []int // TdwMinus[Tw]: minimum dwell to meet J ≤ J*, Tw = 0..TwStar
+	TdwPlus  []int // TdwPlus[Tw]: dwell beyond which J cannot improve
+	JBest    []int // JBest[Tw]: settling time achieved at dwell TdwPlus[Tw]
+	JAtMin   []int // JAtMin[Tw]: settling time achieved at dwell TdwMinus[Tw]
+
+	Granularity int // Tw grid step used (1 = exact)
+}
+
+// ErrRequirementInfeasible is returned when even a dedicated TT slot cannot
+// meet the requirement (JT > J*).
+var ErrRequirementInfeasible = errors.New("switching: requirement infeasible even with dedicated TT slot")
+
+// ErrRequirementTrivial is returned when ET alone already meets the
+// requirement (JE ≤ J*): the application does not need a TT slot at all.
+var ErrRequirementTrivial = errors.New("switching: requirement already met by ET-only controller")
+
+// Plant bundles what the analysis needs about one application.
+type Plant struct {
+	Name  string
+	Sys   *lti.System
+	KT    lti.Feedback // order n
+	KE    lti.Feedback // order n+1 (delayed/augmented design)
+	X0    []float64    // post-disturbance state
+	JStar int
+	R     int
+}
+
+// Simulator simulates the switched closed loop for arbitrary mode
+// sequences. It is also used by the co-simulation layer.
+type Simulator struct {
+	sys *lti.System
+	kT  lti.Feedback
+	kE  lti.Feedback
+	n   int
+
+	x     []float64 // current plant state
+	uPrev float64   // input still held/applied from previous sample
+	z     []float64 // scratch augmented state
+}
+
+// NewSimulator returns a simulator positioned at the post-disturbance state.
+func NewSimulator(p Plant) *Simulator {
+	if p.KT.Order() != p.Sys.Order() || p.KE.Order() != p.Sys.Order()+1 {
+		panic(lti.ErrShape)
+	}
+	s := &Simulator{sys: p.Sys, kT: p.KT, kE: p.KE, n: p.Sys.Order()}
+	s.Reset(p.X0)
+	return s
+}
+
+// Reset places the simulator at state x0 with zero held input (steady state
+// immediately before the disturbance).
+func (s *Simulator) Reset(x0 []float64) {
+	s.x = append(s.x[:0], x0...)
+	s.uPrev = 0
+	if s.z == nil {
+		s.z = make([]float64, s.n+1)
+	}
+}
+
+// Output returns the current plant output y.
+func (s *Simulator) Output() float64 { return s.sys.Output(s.x) }
+
+// State returns a copy of the current plant state.
+func (s *Simulator) State() []float64 { return append([]float64(nil), s.x...) }
+
+// StepMT advances one sample in mode MT: u = −KT·x applied immediately.
+func (s *Simulator) StepMT() {
+	u := s.kT.U(s.x)
+	s.x = s.sys.Step(s.x, u)
+	s.uPrev = u
+}
+
+// StepME advances one sample in mode ME: the held input uPrev is applied,
+// and the ET controller's command −KE·[x; uPrev] becomes the next held
+// input (one-sample delay, Eqs. 4–5).
+func (s *Simulator) StepME() {
+	copy(s.z, s.x)
+	s.z[s.n] = s.uPrev
+	cmd := s.kE.U(s.z)
+	s.x = s.sys.Step(s.x, s.uPrev)
+	s.uPrev = cmd
+}
+
+// Mode identifies a communication/controller mode.
+type Mode uint8
+
+// Modes of the switched system.
+const (
+	ME Mode = iota // event-triggered: KE, one-sample delay
+	MT             // time-triggered: KT, negligible delay
+)
+
+// SimulateSequence runs the switched loop from x0 through the given mode
+// sequence (one entry per sample); samples beyond the sequence stay in ME.
+// It returns the output trajectory of length horizon+1.
+func SimulateSequence(p Plant, seq []Mode, horizon int) []float64 {
+	s := NewSimulator(p)
+	y := make([]float64, horizon+1)
+	for k := 0; k <= horizon; k++ {
+		y[k] = s.Output()
+		if k == horizon {
+			break
+		}
+		m := ME
+		if k < len(seq) {
+			m = seq[k]
+		}
+		if m == MT {
+			s.StepMT()
+		} else {
+			s.StepME()
+		}
+	}
+	return y
+}
+
+// SettleAfterSwitch returns the settling time J (in samples) of the
+// strategy "wait Tw samples in ME, dwell in MT, then ME forever", and
+// whether it settles within the horizon.
+func SettleAfterSwitch(p Plant, tw, dwell int, cfg Config) (int, bool) {
+	cfg = cfg.withDefaults(p.JStar)
+	s := NewSimulator(p)
+	return settleFrom(s, tw, dwell, cfg)
+}
+
+// settleFrom runs the wait/dwell/return pattern on an already-reset
+// simulator and measures settling.
+func settleFrom(s *Simulator, tw, dwell int, cfg Config) (int, bool) {
+	y := make([]float64, cfg.Horizon+1)
+	for k := 0; k <= cfg.Horizon; k++ {
+		y[k] = s.Output()
+		if k == cfg.Horizon {
+			break
+		}
+		switch {
+		case k < tw:
+			s.StepME()
+		case k < tw+dwell:
+			s.StepMT()
+		default:
+			s.StepME()
+		}
+	}
+	return lti.SettlingIndex(y, cfg.Tol)
+}
+
+// Compute derives the full switching profile of an application by
+// exhaustive simulation over all (Tw, Tdw) combinations allowed by the
+// strategy, exactly as Sec. 3 prescribes.
+func Compute(p Plant, cfg Config) (*Profile, error) {
+	cfg = cfg.withDefaults(p.JStar)
+	if p.JStar <= 0 {
+		return nil, fmt.Errorf("switching: J* must be positive, got %d", p.JStar)
+	}
+
+	prof := &Profile{Name: p.Name, JStar: p.JStar, R: p.R, Granularity: cfg.TwGranularity}
+
+	// JT: dedicated slot = MT from the disturbance on.
+	jt, okT := SettleAfterSwitch(p, 0, cfg.Horizon, cfg)
+	if !okT {
+		return nil, fmt.Errorf("switching: %s never settles in MT within horizon %d", p.Name, cfg.Horizon)
+	}
+	prof.JT = jt
+	// JE: ET only.
+	je, okE := SettleAfterSwitch(p, cfg.Horizon, 0, cfg)
+	if !okE {
+		je = math.MaxInt32 // ET-only loop too slow to settle in horizon (still usable if stable)
+	}
+	prof.JE = je
+
+	if jt > p.JStar {
+		return prof, ErrRequirementInfeasible
+	}
+	if je <= p.JStar {
+		return prof, ErrRequirementTrivial
+	}
+
+	// Sweep every Tw until the requirement becomes unattainable; the per-Tw
+	// dwell sweeps are independent, so batches run in parallel and results
+	// are truncated at the first unattainable wait (identical to a serial
+	// scan).
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type row struct {
+		minDwell, plusDwell, jAtMin, jBest int
+		attainable                         bool
+	}
+	done := false
+	for base := 0; !done; base += workers {
+		rows := make([]row, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := &rows[w]
+				r.minDwell, r.plusDwell, r.jAtMin, r.jBest, r.attainable = sweepDwell(p, base+w, cfg)
+			}(w)
+		}
+		wg.Wait()
+		for w, r := range rows {
+			if !r.attainable {
+				done = true
+				break
+			}
+			prof.TdwMinus = append(prof.TdwMinus, r.minDwell)
+			prof.TdwPlus = append(prof.TdwPlus, r.plusDwell)
+			prof.JAtMin = append(prof.JAtMin, r.jAtMin)
+			prof.JBest = append(prof.JBest, r.jBest)
+			prof.TwStar = base + w
+		}
+	}
+	if len(prof.TdwMinus) == 0 {
+		return prof, ErrRequirementInfeasible
+	}
+	if cfg.TwGranularity > 1 {
+		return coarsen(prof, cfg.TwGranularity), nil
+	}
+	return prof, nil
+}
+
+// coarsen merges the exact per-Tw tables onto a grid of step g. Because
+// Tdw− is not monotone in Tw, simply sampling grid points would not be safe;
+// instead each grid cell stores the *widest window valid for every wait it
+// covers*: max Tdw− and min Tdw+ over the cell (cell i covers the waits
+// ((i−1)·g, i·g] that Lookup rounds up to it, and cell 0 covers Tw = 0).
+// Cells whose merged window is empty, and cells extending past the exact
+// T*w, truncate the coarse table — the memory/conservativeness trade-off
+// the paper describes.
+func coarsen(exact *Profile, g int) *Profile {
+	c := &Profile{
+		Name: exact.Name, JStar: exact.JStar, R: exact.R,
+		JT: exact.JT, JE: exact.JE, Granularity: g,
+	}
+	for i := 0; ; i++ {
+		lo := (i-1)*g + 1
+		if i == 0 {
+			lo = 0
+		}
+		hi := i * g
+		if hi > exact.TwStar {
+			break // cell not fully covered by the exact table
+		}
+		dm, dp := 0, 1<<30
+		jb, jm := 0, 0
+		for tw := lo; tw <= hi; tw++ {
+			if exact.TdwMinus[tw] > dm {
+				dm = exact.TdwMinus[tw]
+				jm = exact.JAtMin[tw]
+			}
+			if exact.TdwPlus[tw] < dp {
+				dp = exact.TdwPlus[tw]
+			}
+			if exact.JBest[tw] > jb {
+				jb = exact.JBest[tw]
+			}
+		}
+		if dm > dp {
+			break // no single window covers the whole cell
+		}
+		c.TdwMinus = append(c.TdwMinus, dm)
+		c.TdwPlus = append(c.TdwPlus, dp)
+		c.JAtMin = append(c.JAtMin, jm)
+		c.JBest = append(c.JBest, jb)
+		c.TwStar = hi
+	}
+	return c
+}
+
+// sweepDwell scans dwell = 1..MaxDwell at fixed Tw. It returns the minimum
+// dwell meeting J ≤ J*, the smallest dwell achieving the best attainable J
+// (= Tdw+), and the settling times at those two dwells. attainable is false
+// when no dwell meets the requirement (Tw > T*w).
+func sweepDwell(p Plant, tw int, cfg Config) (minDwell, plusDwell, jAtMin, jBest int, attainable bool) {
+	js := make([]int, cfg.MaxDwell+1)
+	for d := 1; d <= cfg.MaxDwell; d++ {
+		j, ok := SettleAfterSwitch(p, tw, d, cfg)
+		if !ok {
+			j = math.MaxInt32
+		}
+		js[d] = j
+	}
+	minDwell = -1
+	for d := 1; d <= cfg.MaxDwell; d++ {
+		if js[d] <= p.JStar {
+			minDwell = d
+			jAtMin = js[d]
+			break
+		}
+	}
+	if minDwell < 0 {
+		return 0, 0, 0, 0, false
+	}
+	// Tdw+: the first dwell attaining the minimum achievable settling time.
+	// Staying in MT beyond it "will not get improved" (and, because the
+	// switch-back transient matters, can even be slightly worse), which is
+	// exactly the paper's reading — e.g. for C1 at Tw=0 it reports Tdw+=6
+	// with J equal to the dedicated-slot JT.
+	jBest = js[1]
+	plusDwell = 1
+	for d := 2; d <= cfg.MaxDwell; d++ {
+		if js[d] < jBest {
+			jBest = js[d]
+			plusDwell = d
+		}
+	}
+	return minDwell, plusDwell, jAtMin, jBest, true
+}
+
+// Lookup returns (Tdw−, Tdw+) for an observed wait tw, applying the
+// conservative rounding of the Tw grid (waits between grid points use the
+// next grid point's dwell requirements). ok is false when tw exceeds T*w.
+func (p *Profile) Lookup(tw int) (dtMinus, dtPlus int, ok bool) {
+	if tw < 0 || tw > p.TwStar {
+		return 0, 0, false
+	}
+	idx := (tw + p.Granularity - 1) / p.Granularity
+	if idx >= len(p.TdwMinus) {
+		return 0, 0, false
+	}
+	return p.TdwMinus[idx], p.TdwPlus[idx], true
+}
+
+// MaxTdwMinus returns max over Tw of Tdw−(Tw) — the tie-break key the
+// paper's first-fit mapping uses (called T−*dw there).
+func (p *Profile) MaxTdwMinus() int {
+	m := 0
+	for _, v := range p.TdwMinus {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxTdwPlus returns max over Tw of Tdw+(Tw) — an upper bound on any
+// occupant's slot tenure, used to bound verifier state encodings.
+func (p *Profile) MaxTdwPlus() int {
+	m := 0
+	for _, v := range p.TdwPlus {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Validate cross-checks internal consistency of a profile: table lengths,
+// Tdw− ≤ Tdw+, and that every dwell in [Tdw−, Tdw+] still meets the
+// requirement (the scheduler may preempt anywhere in that window, so the
+// whole window must be safe). It re-simulates, so it is not free.
+func (p *Profile) Validate(pl Plant, cfg Config) error {
+	cfg = cfg.withDefaults(p.JStar)
+	want := p.TwStar/p.Granularity + 1
+	if len(p.TdwMinus) != want || len(p.TdwPlus) != want {
+		return fmt.Errorf("switching: table length %d/%d, want %d", len(p.TdwMinus), len(p.TdwPlus), want)
+	}
+	for i := range p.TdwMinus {
+		if p.TdwMinus[i] > p.TdwPlus[i] {
+			return fmt.Errorf("switching: Tdw−[%d]=%d > Tdw+[%d]=%d", i, p.TdwMinus[i], i, p.TdwPlus[i])
+		}
+		tw := i * p.Granularity
+		for d := p.TdwMinus[i]; d <= p.TdwPlus[i]; d++ {
+			j, ok := SettleAfterSwitch(pl, tw, d, cfg)
+			if !ok || j > p.JStar {
+				return fmt.Errorf("switching: dwell %d in window [%d,%d] at Tw=%d violates J*: J=%d",
+					d, p.TdwMinus[i], p.TdwPlus[i], tw, j)
+			}
+		}
+	}
+	return nil
+}

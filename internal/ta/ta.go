@@ -1,0 +1,300 @@
+// Package ta is a discrete-time timed-automata network engine — the
+// model-checking substrate this reproduction uses in place of UPPAAL.
+//
+// A network is a set of automata with locations (normal, urgent or
+// committed), edges carrying guards, updates and binary channel
+// synchronisations, shared integer variables, and integer clocks that
+// advance synchronously in unit steps (one sampling period). Because the
+// paper's system is sampled — disturbances are observed and scheduling
+// decisions taken only at sample boundaries — unit-step integer clocks give
+// the exact semantics of the continuous-time model (Sec. 4 discusses
+// precisely this discretisation), with no zone abstraction needed.
+//
+// Semantics follow UPPAAL's:
+//
+//   - committed locations: if any automaton is committed, only transitions
+//     involving a committed automaton may fire and time may not pass;
+//   - urgent locations: time may not pass while occupied;
+//   - invariants: a state whose invariant fails is not admissible; delay is
+//     blocked when it would violate any invariant;
+//   - synchronisation: an a! edge fires together with a matching a? edge of
+//     another automaton, emitter update first;
+//   - clocks saturate at a per-clock ceiling (max-constant abstraction),
+//     keeping the reachable state space finite.
+package ta
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a location.
+type Kind uint8
+
+// Location kinds.
+const (
+	Normal Kind = iota
+	Urgent
+	Committed
+)
+
+// State is a network configuration: one location per automaton, the shared
+// integer variables, and the clock values. Guards and updates receive the
+// state; they must treat Locs as read-only.
+type State struct {
+	Locs   []int
+	Vars   []int
+	Clocks []int
+}
+
+// clone deep-copies a state.
+func (s *State) clone() *State {
+	n := &State{
+		Locs:   append([]int(nil), s.Locs...),
+		Vars:   append([]int(nil), s.Vars...),
+		Clocks: append([]int(nil), s.Clocks...),
+	}
+	return n
+}
+
+// Guard is an edge guard; nil means "always enabled".
+type Guard func(s *State) bool
+
+// Update is an edge effect; nil means "no effect".
+type Update func(s *State)
+
+// SyncDir is the direction of a channel synchronisation.
+type SyncDir uint8
+
+// Synchronisation directions.
+const (
+	NoSync SyncDir = iota
+	Emit           // a!
+	Recv           // a?
+)
+
+// Edge connects two locations of one automaton.
+type Edge struct {
+	From, To int
+	Guard    Guard
+	Chan     int // channel id; meaningful when Dir != NoSync
+	Dir      SyncDir
+	Update   Update
+	Label    string // for traces
+}
+
+// Location is a named node with a kind and an optional invariant.
+type Location struct {
+	Name      string
+	Kind      Kind
+	Invariant Guard // nil = true
+}
+
+// Automaton is one component of the network.
+type Automaton struct {
+	Name      string
+	Locations []Location
+	Edges     []Edge
+	Init      int
+
+	out [][]int // edge indices by source location (built by Network)
+}
+
+// Network is a closed system of automata over shared variables and clocks.
+type Network struct {
+	Automata   []*Automaton
+	VarNames   []string
+	ClockNames []string
+	ChanNames  []string
+	// ClockMax is the saturation ceiling per clock (max-constant
+	// abstraction): after reaching ClockMax[c]+1 a clock no longer grows.
+	// Guards must not compare clock c against constants above ClockMax[c].
+	ClockMax []int
+	// InitVars optionally overrides the all-zero initial variable values.
+	InitVars []int
+}
+
+// Validate checks structural sanity and builds edge indices.
+func (n *Network) Validate() error {
+	if len(n.Automata) == 0 {
+		return errors.New("ta: empty network")
+	}
+	for _, a := range n.Automata {
+		if a.Init < 0 || a.Init >= len(a.Locations) {
+			return fmt.Errorf("ta: %s: init location %d out of range", a.Name, a.Init)
+		}
+		a.out = make([][]int, len(a.Locations))
+		for ei, e := range a.Edges {
+			if e.From < 0 || e.From >= len(a.Locations) || e.To < 0 || e.To >= len(a.Locations) {
+				return fmt.Errorf("ta: %s: edge %d endpoints out of range", a.Name, ei)
+			}
+			if e.Dir != NoSync && (e.Chan < 0 || e.Chan >= len(n.ChanNames)) {
+				return fmt.Errorf("ta: %s: edge %d channel %d out of range", a.Name, ei, e.Chan)
+			}
+			a.out[e.From] = append(a.out[e.From], ei)
+		}
+	}
+	if len(n.ClockMax) != len(n.ClockNames) {
+		return fmt.Errorf("ta: ClockMax length %d != clocks %d", len(n.ClockMax), len(n.ClockNames))
+	}
+	if n.InitVars != nil && len(n.InitVars) != len(n.VarNames) {
+		return fmt.Errorf("ta: InitVars length %d != vars %d", len(n.InitVars), len(n.VarNames))
+	}
+	return nil
+}
+
+// Initial returns the initial configuration.
+func (n *Network) Initial() *State {
+	s := &State{
+		Locs:   make([]int, len(n.Automata)),
+		Vars:   make([]int, len(n.VarNames)),
+		Clocks: make([]int, len(n.ClockNames)),
+	}
+	for i, a := range n.Automata {
+		s.Locs[i] = a.Init
+	}
+	if n.InitVars != nil {
+		copy(s.Vars, n.InitVars)
+	}
+	return s
+}
+
+// invariantsHold reports whether every occupied location's invariant holds.
+func (n *Network) invariantsHold(s *State) bool {
+	for i, a := range n.Automata {
+		if inv := a.Locations[s.Locs[i]].Invariant; inv != nil && !inv(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// anyCommitted reports whether some automaton occupies a committed location.
+func (n *Network) anyCommitted(s *State) bool {
+	for i, a := range n.Automata {
+		if a.Locations[s.Locs[i]].Kind == Committed {
+			return true
+		}
+	}
+	return false
+}
+
+// anyUrgentOrCommitted reports whether time is frozen by a location kind.
+func (n *Network) anyUrgentOrCommitted(s *State) bool {
+	for i, a := range n.Automata {
+		k := a.Locations[s.Locs[i]].Kind
+		if k == Committed || k == Urgent {
+			return true
+		}
+	}
+	return false
+}
+
+// Step describes one transition for traces.
+type Step struct {
+	Delay   bool
+	AutoA   int    // acting automaton (emitter for syncs)
+	AutoB   int    // receiver for syncs, −1 otherwise
+	Label   string // edge label(s)
+	Elapsed int    // cumulative delay steps before this action
+}
+
+// Successors appends all successor states of s to out, with matching Step
+// descriptors appended to steps. The committed-location priority rule and
+// delay blocking are applied.
+func (n *Network) Successors(s *State, out []*State, steps []Step) ([]*State, []Step) {
+	committed := n.anyCommitted(s)
+
+	fire := func(ns *State) *State { // apply invariant admissibility
+		if n.invariantsHold(ns) {
+			return ns
+		}
+		return nil
+	}
+
+	// Internal edges.
+	for ai, a := range n.Automata {
+		if committed && a.Locations[s.Locs[ai]].Kind != Committed {
+			continue
+		}
+		for _, ei := range a.out[s.Locs[ai]] {
+			e := &a.Edges[ei]
+			if e.Dir != NoSync {
+				continue
+			}
+			if e.Guard != nil && !e.Guard(s) {
+				continue
+			}
+			ns := s.clone()
+			ns.Locs[ai] = e.To
+			if e.Update != nil {
+				e.Update(ns)
+			}
+			if ns = fire(ns); ns != nil {
+				out = append(out, ns)
+				steps = append(steps, Step{AutoA: ai, AutoB: -1, Label: e.Label})
+			}
+		}
+	}
+
+	// Channel synchronisations: emitter × receiver pairs.
+	for ai, a := range n.Automata {
+		for _, ei := range a.out[s.Locs[ai]] {
+			e := &a.Edges[ei]
+			if e.Dir != Emit {
+				continue
+			}
+			if e.Guard != nil && !e.Guard(s) {
+				continue
+			}
+			for bi, b := range n.Automata {
+				if bi == ai {
+					continue
+				}
+				if committed &&
+					a.Locations[s.Locs[ai]].Kind != Committed &&
+					b.Locations[s.Locs[bi]].Kind != Committed {
+					continue
+				}
+				for _, fi := range b.out[s.Locs[bi]] {
+					f := &b.Edges[fi]
+					if f.Dir != Recv || f.Chan != e.Chan {
+						continue
+					}
+					if f.Guard != nil && !f.Guard(s) {
+						continue
+					}
+					ns := s.clone()
+					ns.Locs[ai] = e.To
+					ns.Locs[bi] = f.To
+					if e.Update != nil {
+						e.Update(ns)
+					}
+					if f.Update != nil {
+						f.Update(ns)
+					}
+					if ns = fire(ns); ns != nil {
+						out = append(out, ns)
+						steps = append(steps, Step{AutoA: ai, AutoB: bi,
+							Label: e.Label + "!/" + f.Label + "?"})
+					}
+				}
+			}
+		}
+	}
+
+	// Delay step (one time unit) with clock saturation.
+	if !n.anyUrgentOrCommitted(s) {
+		ns := s.clone()
+		for c := range ns.Clocks {
+			if ns.Clocks[c] <= n.ClockMax[c] {
+				ns.Clocks[c]++
+			}
+		}
+		if n.invariantsHold(ns) {
+			out = append(out, ns)
+			steps = append(steps, Step{Delay: true, AutoA: -1, AutoB: -1, Label: "delay"})
+		}
+	}
+	return out, steps
+}

@@ -1,0 +1,89 @@
+package verify
+
+// u64Set is an open-addressing hash set of uint64 keys tuned for the
+// verifier's packed states. Zero is reserved as the empty-slot sentinel;
+// the packed encoding can never produce 0 (the idle-slot occupant field is
+// 0xF), so no remapping is needed.
+type u64Set struct {
+	slots []uint64
+	n     int
+	mask  uint64
+}
+
+// newU64Set creates a set with the given initial capacity (rounded up to a
+// power of two).
+func newU64Set(capacity int) *u64Set {
+	size := 16
+	for size < capacity {
+		size <<= 1
+	}
+	return &u64Set{slots: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// hash mixes the key (splitmix64 finalizer).
+func hashU64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// add inserts k and reports whether it was absent.
+func (s *u64Set) add(k uint64) bool {
+	if k == 0 {
+		panic("u64Set: zero key is reserved")
+	}
+	if 4*(s.n+1) > 3*len(s.slots) {
+		s.grow()
+	}
+	i := hashU64(k) & s.mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.slots[i] = k
+			s.n++
+			return true
+		}
+		if v == k {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// contains reports membership.
+func (s *u64Set) contains(k uint64) bool {
+	i := hashU64(k) & s.mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == k {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// len returns the number of stored keys.
+func (s *u64Set) len() int { return s.n }
+
+func (s *u64Set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	s.n = 0
+	for _, v := range old {
+		if v != 0 {
+			i := hashU64(v) & s.mask
+			for s.slots[i] != 0 {
+				i = (i + 1) & s.mask
+			}
+			s.slots[i] = v
+			s.n++
+		}
+	}
+}

@@ -1,0 +1,535 @@
+// Package verify decides the paper's central question (Sec. 4): can a set
+// of applications share one TT slot such that every application, under
+// every admissible disturbance scenario, is granted the slot within its
+// maximum wait T*w?
+//
+// The paper models applications, arbitration policy and scheduler as a
+// network of timed automata (Figs. 5–7) and checks Error-state reachability
+// with UPPAAL. Because the plant is sampled and the scheduler observes
+// disturbances only at sample boundaries, integer-clock semantics at sample
+// granularity is exact; this package therefore performs explicit-state
+// breadth-first reachability over a bit-packed encoding of the composed
+// discrete state. Disturbances are adversarial: at every sample, any subset
+// of quiescent applications may have been disturbed during the preceding
+// interval (subject to the per-application minimum inter-arrival time r).
+//
+// Two modes are provided:
+//
+//   - exact (default): unbounded disturbance instances — full reachability;
+//   - bounded: each application is limited to a given number of disturbance
+//     instances, the paper's acceleration that cut one verification from
+//     5 h to 15 min. It under-approximates reachability and is sound under
+//     the paper's critical-instant argument (a worst-case wait occurs
+//     within a window that bounds how many times each interferer can fire).
+//
+// The same per-sample semantics are implemented by the runtime arbiter
+// (internal/sched); cross-validation tests keep them in lock-step.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"tightcps/internal/sched"
+	"tightcps/internal/switching"
+)
+
+// Limits of the packed encoding.
+const (
+	maxApps   = 6
+	maxClock  = 127 // r, T*w ≤ 127 samples
+	maxTdw    = 15  // Tdw+ ≤ 15 samples
+	phaseBits = 2
+	valBits   = 7
+	cntBits   = 2 // bounded-mode disturbance counters
+)
+
+// Phases in the packed encoding (Granted is tracked via the occupant field;
+// a granted app keeps phase pWaiting's slot... see pack/unpack).
+const (
+	pSteady uint8 = iota
+	pWaiting
+	pGranted
+	pCooldown
+)
+
+// Config tunes a verification run.
+type Config struct {
+	// MaxDisturbances bounds the number of disturbance instances per
+	// application (the paper's acceleration). 0 means unbounded (exact).
+	MaxDisturbances int
+	// Policy selects the preemption policy to verify (default the paper's
+	// eager policy).
+	Policy sched.PreemptionPolicy
+	// NondetTies explores all equally-urgent grant choices (sound for
+	// verification). When false, ties break deterministically exactly like
+	// the runtime arbiter (used for cross-validation).
+	NondetTies bool
+	// MaxStates aborts the search beyond this many visited states
+	// (0 = 200 million).
+	MaxStates int
+	// Trace records parent pointers so a counterexample trace can be
+	// reconstructed. Costs ~2× memory.
+	Trace bool
+}
+
+// Result reports a verification outcome.
+type Result struct {
+	Schedulable bool
+	States      int // states visited
+	Transitions int // transitions taken
+	Depth       int // BFS depth reached (samples)
+	// Violator is the application that missed its deadline (valid when
+	// !Schedulable).
+	Violator int
+	// Counterexample is the disturbance schedule leading to the violation:
+	// step k lists the applications disturbed at sample k. Nil unless
+	// Config.Trace was set and a violation was found.
+	Counterexample [][]int
+	// Bounded records whether the accelerated (bounded-disturbance) model
+	// was used.
+	Bounded bool
+}
+
+// ErrTooLarge is returned when the state cap is exceeded.
+var ErrTooLarge = errors.New("verify: state space exceeds configured limit")
+
+// ErrEncoding is returned when the application set does not fit the packed
+// state encoding.
+var ErrEncoding = errors.New("verify: application set exceeds packed-encoding limits")
+
+// Verifier checks slot-sharing feasibility for one application set.
+type Verifier struct {
+	profs []*switching.Profile
+	cfg   Config
+	n     int
+
+	appBits  uint
+	occShift uint
+	ctShift  uint
+	wide     bool // state does not fit one uint64 (uses two-word set)
+}
+
+// New constructs a Verifier for the applications described by the profiles.
+func New(profiles []*switching.Profile, cfg Config) (*Verifier, error) {
+	n := len(profiles)
+	if n == 0 || n > maxApps {
+		return nil, fmt.Errorf("%w: %d applications (max %d)", ErrEncoding, n, maxApps)
+	}
+	for _, p := range profiles {
+		if p.TwStar > maxClock || p.R > maxClock {
+			return nil, fmt.Errorf("%w: clocks up to %d samples exceed %d", ErrEncoding, p.R, maxClock)
+		}
+		if p.MaxTdwPlus() > maxTdw {
+			return nil, fmt.Errorf("%w: Tdw+ %d exceeds %d", ErrEncoding, p.MaxTdwPlus(), maxTdw)
+		}
+		if p.R <= p.TwStar {
+			return nil, fmt.Errorf("verify: %s has r=%d ≤ T*w=%d; the sporadic model requires r > T*w",
+				p.Name, p.R, p.TwStar)
+		}
+	}
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 200_000_000
+	}
+	v := &Verifier{profs: profiles, cfg: cfg, n: n}
+	v.appBits = phaseBits + valBits
+	if cfg.MaxDisturbances > 0 {
+		if cfg.MaxDisturbances >= 1<<cntBits {
+			return nil, fmt.Errorf("%w: disturbance bound %d exceeds %d", ErrEncoding, cfg.MaxDisturbances, 1<<cntBits-1)
+		}
+		v.appBits += cntBits
+	}
+	total := uint(n)*v.appBits + 4 /*occupant*/ + 4 /*cT*/
+	v.occShift = uint(n) * v.appBits
+	v.ctShift = v.occShift + 4
+	v.wide = total > 64
+	if v.wide {
+		return nil, fmt.Errorf("%w: %d state bits exceed 64 (reduce apps or use unbounded mode)", ErrEncoding, total)
+	}
+	return v, nil
+}
+
+// cstate is the decoded composed state.
+type cstate struct {
+	phase [maxApps]uint8
+	val   [maxApps]uint8 // Waiting: wt; Cooldown: clock; Granted: tw at grant
+	cnt   [maxApps]uint8 // bounded mode: disturbances used
+	occ   int8           // occupant index, −1 idle
+	cT    uint8          // occupant dwell
+}
+
+func (v *Verifier) pack(c *cstate) uint64 {
+	var s uint64
+	for i := 0; i < v.n; i++ {
+		f := uint64(c.phase[i]) | uint64(c.val[i])<<phaseBits
+		if v.cfg.MaxDisturbances > 0 {
+			f |= uint64(c.cnt[i]) << (phaseBits + valBits)
+		}
+		s |= f << (uint(i) * v.appBits)
+	}
+	occ := uint64(0xF)
+	if c.occ >= 0 {
+		occ = uint64(c.occ)
+	}
+	s |= occ << v.occShift
+	s |= uint64(c.cT) << v.ctShift
+	return s
+}
+
+func (v *Verifier) unpack(s uint64, c *cstate) {
+	for i := 0; i < v.n; i++ {
+		f := s >> (uint(i) * v.appBits)
+		c.phase[i] = uint8(f & (1<<phaseBits - 1))
+		c.val[i] = uint8(f >> phaseBits & (1<<valBits - 1))
+		if v.cfg.MaxDisturbances > 0 {
+			c.cnt[i] = uint8(f >> (phaseBits + valBits) & (1<<cntBits - 1))
+		} else {
+			c.cnt[i] = 0
+		}
+	}
+	occ := s >> v.occShift & 0xF
+	if occ == 0xF {
+		c.occ = -1
+	} else {
+		c.occ = int8(occ)
+	}
+	c.cT = uint8(s >> v.ctShift & 0xF)
+}
+
+// initial returns the all-Steady, slot-idle state.
+func (v *Verifier) initial() uint64 {
+	var c cstate
+	c.occ = -1
+	return v.pack(&c)
+}
+
+// violation describes a deadline miss discovered during expansion.
+type violation struct {
+	app int
+}
+
+// successors expands one state. For every subset of disturbance-eligible
+// applications it applies the shared per-sample semantics and appends the
+// resulting packed states to out. It returns a non-nil violation if any
+// choice leads to a deadline miss. choices records, parallel to out, the
+// disturbance subset (bitmask) that produced each successor.
+func (v *Verifier) successors(s uint64, out []uint64, choices []uint32) ([]uint64, []uint32, *violation) {
+	var base cstate
+	v.unpack(s, &base)
+
+	// Step 1–2: advance clocks; finish cooldowns.
+	for i := 0; i < v.n; i++ {
+		switch base.phase[i] {
+		case pWaiting:
+			base.val[i]++
+		case pCooldown:
+			if int(base.val[i])+1 >= v.profs[i].R {
+				base.phase[i] = pSteady
+				base.val[i] = 0
+			} else {
+				base.val[i]++
+			}
+		}
+	}
+	if base.occ >= 0 {
+		base.cT++
+	}
+
+	// Eligible disturbance set.
+	var elig []int
+	for i := 0; i < v.n; i++ {
+		if base.phase[i] != pSteady {
+			continue
+		}
+		if v.cfg.MaxDisturbances > 0 && int(base.cnt[i]) >= v.cfg.MaxDisturbances {
+			continue
+		}
+		elig = append(elig, i)
+	}
+
+	for mask := 0; mask < 1<<len(elig); mask++ {
+		c := base
+		for b, app := range elig {
+			if mask&(1<<b) != 0 {
+				c.phase[app] = pWaiting
+				c.val[app] = 0
+				if v.cfg.MaxDisturbances > 0 {
+					c.cnt[app]++
+				}
+			}
+		}
+		viol, granted := v.schedule(&c)
+		if viol != nil {
+			return out, choices, viol
+		}
+		for _, g := range granted {
+			out = append(out, v.pack(g))
+			choices = append(choices, eligMask(elig, mask))
+		}
+	}
+	return out, choices, nil
+}
+
+// eligMask converts a subset index over elig into an app bitmask.
+func eligMask(elig []int, mask int) uint32 {
+	var m uint32
+	for b, app := range elig {
+		if mask&(1<<b) != 0 {
+			m |= 1 << uint(app)
+		}
+	}
+	return m
+}
+
+// schedule applies eviction, granting and the deadline check to c. It
+// returns the possible post-scheduling states (more than one only with
+// nondeterministic tie-breaking) or a violation.
+func (v *Verifier) schedule(c *cstate) (*violation, []*cstate) {
+	// Forced vacate at Tdw+; preemption in [Tdw−, Tdw+).
+	if c.occ >= 0 {
+		o := int(c.occ)
+		dtMin, dtMax, ok := v.profs[o].Lookup(int(c.val[o]))
+		if !ok {
+			// Cannot happen: grants only occur with a valid window.
+			panic("verify: occupant without dwell window")
+		}
+		evict := false
+		if int(c.cT) >= dtMax {
+			evict = true
+		} else if int(c.cT) >= dtMin {
+			w := v.waiters(c)
+			if len(w) > 0 {
+				switch v.cfg.Policy {
+				case sched.PreemptEager:
+					evict = true
+				case sched.PreemptLazy:
+					u := v.mostUrgent(c, w)
+					if v.profs[u].TwStar-int(c.val[u]) <= 0 {
+						evict = true
+					}
+				}
+			}
+		}
+		if evict {
+			clk := int(c.val[o]) + int(c.cT) // time since disturbance
+			if clk >= v.profs[o].R {
+				c.phase[o] = pSteady
+				c.val[o] = 0
+			} else {
+				c.phase[o] = pCooldown
+				c.val[o] = uint8(clk)
+			}
+			c.occ = -1
+			c.cT = 0
+		}
+	}
+
+	// Grant.
+	var results []*cstate
+	if c.occ < 0 {
+		w := v.waiters(c)
+		if len(w) > 0 {
+			cands := v.grantCandidates(c, w)
+			for _, g := range cands {
+				nc := *c
+				if _, _, ok := v.profs[g].Lookup(int(nc.val[g])); !ok {
+					continue // past T*w — the miss check below will fire
+				}
+				nc.phase[g] = pGranted
+				// val keeps tw (the wait at grant); cT restarts.
+				nc.occ = int8(g)
+				nc.cT = 0
+				if viol := v.missCheck(&nc); viol != nil {
+					return viol, nil
+				}
+				cp := nc
+				results = append(results, &cp)
+			}
+			if len(results) > 0 {
+				return nil, results
+			}
+		}
+	}
+	if viol := v.missCheck(c); viol != nil {
+		return viol, nil
+	}
+	cp := *c
+	return nil, []*cstate{&cp}
+}
+
+// waiters returns the indices of Waiting applications.
+func (v *Verifier) waiters(c *cstate) []int {
+	var w []int
+	for i := 0; i < v.n; i++ {
+		if c.phase[i] == pWaiting {
+			w = append(w, i)
+		}
+	}
+	return w
+}
+
+// mostUrgent returns the waiter with minimum deadline D = T*w − wt, with
+// the runtime arbiter's deterministic tie-break.
+func (v *Verifier) mostUrgent(c *cstate, w []int) int {
+	best := -1
+	bestD, bestTie := 0, 0
+	for _, i := range w {
+		d := v.profs[i].TwStar - int(c.val[i])
+		tie := v.profs[i].MaxTdwMinus()
+		if best < 0 || d < bestD || (d == bestD && tie < bestTie) {
+			best, bestD, bestTie = i, d, tie
+		}
+	}
+	return best
+}
+
+// grantCandidates returns the waiters that may legally receive an idle
+// slot: the unique most-urgent one (deterministic mode) or all waiters tied
+// at the minimum deadline (nondeterministic mode).
+func (v *Verifier) grantCandidates(c *cstate, w []int) []int {
+	if !v.cfg.NondetTies {
+		return []int{v.mostUrgent(c, w)}
+	}
+	minD := 1 << 30
+	for _, i := range w {
+		if d := v.profs[i].TwStar - int(c.val[i]); d < minD {
+			minD = d
+		}
+	}
+	var out []int
+	for _, i := range w {
+		if v.profs[i].TwStar-int(c.val[i]) == minD {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// missCheck flags a still-waiting application whose wait has reached T*w:
+// the earliest possible future grant (next sample) would exceed T*w.
+func (v *Verifier) missCheck(c *cstate) *violation {
+	for i := 0; i < v.n; i++ {
+		if c.phase[i] == pWaiting && int(c.val[i]) >= v.profs[i].TwStar {
+			return &violation{app: i}
+		}
+	}
+	return nil
+}
+
+// Run performs the BFS reachability analysis.
+func (v *Verifier) Run() (Result, error) {
+	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
+	visited := newU64Set(1 << 16)
+	init := v.initial()
+	visited.add(init)
+	frontier := []uint64{init}
+	var parents map[uint64]parentEdge
+	if v.cfg.Trace {
+		parents = map[uint64]parentEdge{}
+	}
+	res.States = 1
+
+	var succBuf []uint64
+	var choiceBuf []uint32
+	for depth := 0; len(frontier) > 0; depth++ {
+		res.Depth = depth
+		var next []uint64
+		for _, s := range frontier {
+			succBuf = succBuf[:0]
+			choiceBuf = choiceBuf[:0]
+			var viol *violation
+			succBuf, choiceBuf, viol = v.successors(s, succBuf, choiceBuf)
+			if viol != nil {
+				res.Schedulable = false
+				res.Violator = viol.app
+				if v.cfg.Trace {
+					res.Counterexample = v.rebuildTrace(parents, s, init)
+				}
+				return res, nil
+			}
+			res.Transitions += len(succBuf)
+			for i, ns := range succBuf {
+				if visited.add(ns) {
+					res.States++
+					if res.States > v.cfg.MaxStates {
+						return res, ErrTooLarge
+					}
+					if v.cfg.Trace {
+						parents[ns] = parentEdge{prev: s, disturbed: choiceBuf[i]}
+					}
+					next = append(next, ns)
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+type parentEdge struct {
+	prev      uint64
+	disturbed uint32
+}
+
+// rebuildTrace walks parent pointers from the state whose expansion
+// violated the deadline back to the initial state, returning the
+// disturbance schedule (step k → apps disturbed at sample k). The final
+// adversarial step that triggers the miss during expansion of `last` is not
+// in the parent map; the violation occurs one sample after the returned
+// schedule ends.
+func (v *Verifier) rebuildTrace(parents map[uint64]parentEdge, last, init uint64) [][]int {
+	var rev []uint32
+	for s := last; s != init; {
+		e, ok := parents[s]
+		if !ok {
+			break
+		}
+		rev = append(rev, e.disturbed)
+		s = e.prev
+	}
+	out := make([][]int, len(rev))
+	for i := range rev {
+		m := rev[len(rev)-1-i]
+		var apps []int
+		for a := 0; a < v.n; a++ {
+			if m&(1<<uint(a)) != 0 {
+				apps = append(apps, a)
+			}
+		}
+		out[i] = apps
+	}
+	return out
+}
+
+// Slot verifies whether the applications described by the given profiles
+// can share one TT slot (convenience wrapper).
+func Slot(profiles []*switching.Profile, cfg Config) (Result, error) {
+	v, err := New(profiles, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return v.Run()
+}
+
+// BoundFor computes a sound per-application disturbance bound for the
+// accelerated model, following the paper's argument: the worst-case wait of
+// any application unfolds within a busy window no longer than
+// W = max_i (T*w_i + maxTdw+_i) samples, during which application j can
+// fire at most ⌈W / r_j⌉ + 1 times. The returned bound is the maximum over
+// j of that count (the encoding uses one shared bound).
+func BoundFor(profiles []*switching.Profile) int {
+	w := 0
+	for _, p := range profiles {
+		if l := p.TwStar + p.MaxTdwPlus(); l > w {
+			w = l
+		}
+	}
+	bound := 1
+	for _, p := range profiles {
+		b := (w+p.R-1)/p.R + 1
+		if b > bound {
+			bound = b
+		}
+	}
+	return bound
+}
