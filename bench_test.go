@@ -1,13 +1,18 @@
 // Benchmarks regenerating every artefact of the paper's evaluation — one
-// benchmark per table/figure (see DESIGN.md §4) plus ablations. Run:
+// benchmark per artefact (Table 1, Figs. 2–4 and 8–9, the Sec. 5
+// dimensioning and verification-time studies) plus ablations and the
+// concurrent-engine scaling suite (Dimension/Verify at Workers=1 vs
+// GOMAXPROCS, admission-cache hit rates). Run:
 //
 //	go test -bench=. -benchmem
 package tightcps_test
 
 import (
+	"runtime"
 	"testing"
 
 	"tightcps/internal/baseline"
+	"tightcps/internal/core"
 	"tightcps/internal/mapping"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
@@ -205,8 +210,8 @@ func BenchmarkVerifyFull(b *testing.B) {
 
 // BenchmarkVerifyBounded is the same verification under the paper's
 // bounded-disturbance acceleration (20× speedup in UPPAAL; in our discrete
-// encoding the counters enlarge the state space instead — the negative
-// result recorded in EXPERIMENTS.md §R2).
+// encoding the per-application counters enlarge the state space instead —
+// a negative result worth keeping measured).
 func BenchmarkVerifyBounded(b *testing.B) {
 	ps := caseProfiles(b, "C1", "C5", "C4", "C3")
 	bound := verify.BoundFor(ps)
@@ -240,7 +245,7 @@ func BenchmarkVerifyTANetwork(b *testing.B) {
 }
 
 // BenchmarkAblationLazyPreemption verifies slot S2 under the future-work
-// lazy-preemption policy (ablation of the design choice in DESIGN.md).
+// lazy-preemption policy (ablation of the paper's eager-preemption choice).
 func BenchmarkAblationLazyPreemption(b *testing.B) {
 	ps := caseProfiles(b, "C6", "C2")
 	b.ResetTimer()
@@ -281,6 +286,113 @@ func BenchmarkOptimalPartition(b *testing.B) {
 		}
 		if len(res.Slots) != 2 {
 			b.Fatalf("optimal = %d slots", len(res.Slots))
+		}
+	}
+}
+
+// --- Concurrent-engine scaling suite -----------------------------------
+//
+// The serial/parallel pairs below quantify the engine's speedup: compare
+// the Workers1 variant against its WorkersMax sibling (identical results,
+// GOMAXPROCS-wide pools). On a single-core host the pair reports parity.
+
+// benchDimension runs the full six-application pipeline — concurrent
+// profiling, sharded-BFS-verified first-fit, memoized admission — at the
+// given worker count.
+func benchDimension(b *testing.B, workers int) {
+	apps := core.CaseStudyApps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := &core.Dimensioner{Apps: apps, Opts: core.Options{Workers: workers}}
+		alloc, err := d.Dimension()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(alloc.Slots) != 2 {
+			b.Fatalf("slots = %d, want 2", len(alloc.Slots))
+		}
+	}
+}
+
+// BenchmarkDimensionWorkers1 is the sequential end-to-end baseline.
+func BenchmarkDimensionWorkers1(b *testing.B) { benchDimension(b, 1) }
+
+// BenchmarkDimensionWorkersMax is the same run at full width; the ratio to
+// Workers1 is the engine's wall-clock speedup.
+func BenchmarkDimensionWorkersMax(b *testing.B) { benchDimension(b, runtime.GOMAXPROCS(0)) }
+
+// benchVerifyS1 model-checks the paper's hardest slot at a worker count.
+func benchVerifyS1(b *testing.B, workers int) {
+	ps := caseProfiles(b, "C1", "C5", "C4", "C3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("S1 must verify")
+		}
+	}
+}
+
+// BenchmarkVerifyFullWorkers1 pins the exact S1 verification to the
+// sequential BFS.
+func BenchmarkVerifyFullWorkers1(b *testing.B) { benchVerifyS1(b, 1) }
+
+// BenchmarkVerifyFullWorkersMax runs the sharded parallel BFS at full
+// width on the same state space.
+func BenchmarkVerifyFullWorkersMax(b *testing.B) { benchVerifyS1(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkOptimalPartitionCached shares one admission cache between the
+// first-fit sweep and the 63-subset DP partitioner, then re-runs the
+// partitioner warm: duplicate subsets are never re-verified. The reported
+// hits/op metric counts admission checks served from the cache.
+func BenchmarkOptimalPartitionCached(b *testing.B) {
+	if testing.Short() {
+		b.Skip("verifies 63 subsets per iteration")
+	}
+	ps := caseProfiles(b, "C1", "C2", "C3", "C4", "C5", "C6")
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := mapping.NewCache()
+		if _, err := mapping.FirstFitCached(ps, nil, cache); err != nil {
+			b.Fatal(err)
+		}
+		cold, err := mapping.OptimalCached(ps, nil, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, err := mapping.OptimalCached(ps, nil, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warm.CacheMisses != 0 {
+			b.Fatalf("warm partitioner missed %d subsets", warm.CacheMisses)
+		}
+		hits += cold.CacheHits + warm.CacheHits
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+}
+
+// BenchmarkFirstFitWarmCache measures dimensioning against a fully warmed
+// admission cache — the repeated-sweep regime where verification cost
+// vanishes entirely.
+func BenchmarkFirstFitWarmCache(b *testing.B) {
+	ps := caseProfiles(b, "C1", "C2", "C3", "C4", "C5", "C6")
+	cache := mapping.NewCache()
+	if _, err := mapping.FirstFitCached(ps, nil, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mapping.FirstFitCached(ps, nil, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheMisses != 0 {
+			b.Fatalf("warm first-fit missed %d times", res.CacheMisses)
 		}
 	}
 }

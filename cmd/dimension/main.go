@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dimension [-apps C1,C2,...] [-stability] [-lazy]
+//	dimension [-apps C1,C2,...] [-stability] [-lazy] [-workers N]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	appsFlag := flag.String("apps", "C1,C2,C3,C4,C5,C6", "comma-separated case-study applications")
 	stability := flag.Bool("stability", false, "certify switching stability (CQLF) for every pair")
 	lazy := flag.Bool("lazy", false, "verify under the lazy-preemption policy (paper future work)")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var apps []core.App
@@ -32,10 +33,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		apps = append(apps, core.App{Name: a.Name, Plant: a.Plant, KT: a.KT, KE: a.KE,
-			X0: a.X0, JStar: a.JStar, R: a.R})
+		apps = append(apps, core.FromPlants(a))
 	}
-	opts := core.Options{CheckSwitchingStability: *stability}
+	opts := core.Options{CheckSwitchingStability: *stability, Workers: *workers}
 	if *lazy {
 		opts.Policy = sched.PreemptLazy
 	}
@@ -46,8 +46,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dimensioning failed:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dimensioned %d applications onto %d TT slot(s) in %.2fs (%d verifications)\n",
-		len(apps), len(alloc.Slots), time.Since(t0).Seconds(), alloc.Verifications)
+	fmt.Printf("dimensioned %d applications onto %d TT slot(s) in %.2fs (%d verifications, %d cache hits)\n",
+		len(apps), len(alloc.Slots), time.Since(t0).Seconds(), alloc.Verifications, alloc.CacheHits)
 	for si, names := range alloc.SlotNames() {
 		fmt.Printf("  slot S%d: %s\n", si+1, strings.Join(names, ", "))
 	}

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index):
+// evaluation:
 //
 //	-table1     Table 1: JT, JE, T*w, Tdw−, Tdw+ for C1..C6
 //	-fig2       Fig. 2: motivational response curves
@@ -40,6 +40,7 @@ func main() {
 		verifytime = flag.Bool("verifytime", false, "regenerate the verification-time study")
 		all        = flag.Bool("all", false, "run every experiment")
 	)
+	flag.IntVar(&workers, "workers", 0, "worker pool size for verification (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *mappingF, *fig8, *fig9, *verifytime = true, true, true, true, true, true, true, true
@@ -72,6 +73,23 @@ func main() {
 	if *verifytime {
 		runVerifyTime()
 	}
+}
+
+// workers is the shared -workers flag value.
+var workers int
+
+// admissionCache memoizes slot-admission verdicts across the experiments of
+// one invocation (e.g. -mapping's first-fit and optimal sweeps).
+var admissionCache = mapping.NewCache()
+
+// slotVerify is the admission verifier the experiments share: the exact
+// packed checker with nondeterministic ties, fanned out over -workers.
+func slotVerify(ps []*switching.Profile) (bool, error) {
+	res, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers})
+	if err != nil {
+		return false, err
+	}
+	return res.Schedulable, nil
 }
 
 func profiles() map[string]*switching.Profile {
@@ -227,13 +245,21 @@ func runMapping() {
 		ps = append(ps, m[n])
 	}
 	t0 := time.Now()
-	ff, err := mapping.FirstFit(ps, nil)
+	ff, err := mapping.FirstFitCached(ps, slotVerify, admissionCache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("  proposed (first-fit + exact model checking): %d slots %v  [%d checks, %.2fs]\n",
-		len(ff.Slots), ff.SlotNames(ps), ff.Verifications, time.Since(t0).Seconds())
+	fmt.Printf("  proposed (first-fit + exact model checking): %d slots %v  [%d checks, %d cached, %.2fs]\n",
+		len(ff.Slots), ff.SlotNames(ps), ff.Verifications, ff.CacheHits, time.Since(t0).Seconds())
+	t0 = time.Now()
+	opt, err := mapping.OptimalCached(ps, slotVerify, admissionCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  exact DP partitioner (2ⁿ−1 subsets):         %d slots %v  [%d checks, %d served by cache, %.2fs]\n",
+		len(opt.Slots), opt.SlotNames(ps), opt.Verifications, opt.CacheHits, time.Since(t0).Seconds())
 
 	rs := map[string]int{}
 	for n, p := range m {
@@ -333,14 +359,15 @@ func runVerifyTime() {
 			ps = append(ps, m[n])
 		}
 		t0 := time.Now()
-		exact, err := verify.Slot(ps, verify.Config{NondetTies: true})
+		exact, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		exactT := time.Since(t0)
 		t0 = time.Now()
-		bounded, err := verify.Slot(ps, verify.Config{NondetTies: true, MaxDisturbances: verify.BoundFor(ps)})
+		bounded, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers,
+			MaxDisturbances: verify.BoundFor(ps)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -357,5 +384,5 @@ func runVerifyTime() {
 	fmt.Println(`  Note: the paper accelerated UPPAAL (5 h → 15 min) by bounding disturbance
   instances. Our discrete exact checker is already fast; bounding instances
   adds per-application counters to the state and is counterproductive here —
-  recorded as a negative result in EXPERIMENTS.md.`)
+  a negative result (see the BenchmarkVerifyBounded comment in bench_test.go).`)
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	verifyslot -apps C1,C5,C4,C3 [-bounded] [-ta] [-lazy]
+//	verifyslot -apps C1,C5,C4,C3 [-bounded] [-ta] [-lazy] [-workers N]
+//
+// The verdict is computed with the sharded parallel BFS; when a violation is
+// found, the counterexample schedule is reconstructed with a second,
+// sequential traced run (tracing needs deterministic parent pointers).
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	bounded := flag.Bool("bounded", false, "use the bounded-disturbance acceleration")
 	useTA := flag.Bool("ta", false, "check the faithful Fig. 5–7 timed-automata network instead of the packed verifier")
 	lazy := flag.Bool("lazy", false, "verify the lazy-preemption policy")
+	workers := flag.Int("workers", 0, "BFS worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	names := strings.Split(*appsFlag, ",")
@@ -48,7 +53,7 @@ func main() {
 			ok, res.States, res.Depth, time.Since(t0).Seconds())
 		return
 	}
-	cfg := verify.Config{NondetTies: true, Trace: true}
+	cfg := verify.Config{NondetTies: true, Workers: *workers}
 	if *bounded {
 		cfg.MaxDisturbances = verify.BoundFor(profs)
 	}
@@ -59,6 +64,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if !res.Schedulable {
+		// Re-run sequentially with tracing for the disturbance schedule.
+		cfg.Trace = true
+		res, err = verify.Slot(profs, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("slot %v: schedulable=%v\n", names, res.Schedulable)
 	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v (%.2fs)\n",

@@ -16,12 +16,7 @@ import (
 )
 
 func main() {
-	var apps []core.App
-	for _, a := range plants.CaseStudy() {
-		apps = append(apps, core.App{Name: a.Name, Plant: a.Plant, KT: a.KT, KE: a.KE,
-			X0: a.X0, JStar: a.JStar, R: a.R})
-	}
-	d := &core.Dimensioner{Apps: apps}
+	d := &core.Dimensioner{Apps: core.CaseStudyApps()}
 	alloc, err := d.Dimension()
 	if err != nil {
 		log.Fatal(err)

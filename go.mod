@@ -1,0 +1,3 @@
+module tightcps
+
+go 1.24

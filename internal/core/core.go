@@ -11,12 +11,13 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"fmt"
 
 	"tightcps/internal/control"
 	"tightcps/internal/lti"
 	"tightcps/internal/mapping"
+	"tightcps/internal/plants"
 	"tightcps/internal/sched"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
@@ -42,14 +43,32 @@ type Options struct {
 	// for every application's (KT, KE) pair before profiling, as Sec. 3
 	// recommends. Applications failing the check abort the run.
 	CheckSwitchingStability bool
+	// Workers is the engine's concurrency budget. During profiling it is
+	// split between the per-application fan-out and each application's
+	// dwell sweeps (total ≈ Workers); during mapping it sizes the
+	// verifier's BFS-frontier pool. Pinning Switching.Workers or
+	// Verify.Workers overrides the respective pool. 0 uses GOMAXPROCS;
+	// 1 forces a fully serial run. The allocation is identical for every
+	// worker count.
+	Workers int
+	// Cache memoizes slot-admission verdicts. Nil uses a fresh per-call
+	// cache (which still deduplicates within the run); supplying one reuses
+	// verdicts across Dimension calls. Do not share a cache between Options
+	// that verify differently (Policy or Verify knobs).
+	Cache *mapping.Cache
 }
 
 // Allocation is the dimensioning result.
 type Allocation struct {
 	Profiles []*switching.Profile
 	Slots    [][]int // per TT slot: indices into Apps/Profiles
-	// Verifications counts slot-sharing model-checking runs.
+	// Verifications counts slot-sharing admission checks (cache hits
+	// included).
 	Verifications int
+	// CacheHits and CacheMisses report the admission-cache traffic of this
+	// run.
+	CacheHits   int
+	CacheMisses int
 	// Stability holds the CQLF results when the stability check ran.
 	Stability []control.CQLFResult
 }
@@ -80,49 +99,71 @@ func Profile(a App, cfg switching.Config) (*switching.Profile, error) {
 	return switching.Compute(plantOf(a), cfg)
 }
 
+// FromPlants adapts a case-study application to the engine's input type.
+func FromPlants(a plants.App) App {
+	return App{Name: a.Name, Plant: a.Plant, KT: a.KT, KE: a.KE,
+		X0: a.X0, JStar: a.JStar, R: a.R}
+}
+
+// CaseStudyApps returns the paper's six case-study applications ready for
+// dimensioning.
+func CaseStudyApps() []App {
+	var out []App
+	for _, a := range plants.CaseStudy() {
+		out = append(out, FromPlants(a))
+	}
+	return out
+}
+
 func plantOf(a App) switching.Plant {
 	return switching.Plant{Name: a.Name, Sys: a.Plant, KT: a.KT, KE: a.KE,
 		X0: a.X0, JStar: a.JStar, R: a.R}
 }
 
-// Dimension executes: (optional) switching-stability certification, profile
-// computation, then verified first-fit slot mapping.
+// Dimension executes the engine's two stages: (optional) switching-stability
+// certification plus profile computation fanned out per application, then
+// verified first-fit slot mapping with memoized admission.
 func (d *Dimensioner) Dimension() (*Allocation, error) {
 	if len(d.Apps) == 0 {
 		return nil, errors.New("core: no applications")
 	}
 	alloc := &Allocation{}
-	for _, a := range d.Apps {
-		if d.Opts.CheckSwitchingStability {
-			res, err := control.SwitchingStable(a.Plant, a.KT, a.KE)
-			if err != nil || !res.Found {
-				return nil, fmt.Errorf("%w: %s", ErrNotSwitchingStable, a.Name)
-			}
-			alloc.Stability = append(alloc.Stability, res)
-		}
-		p, err := Profile(a, d.Opts.Switching)
-		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s: %w", a.Name, err)
-		}
-		alloc.Profiles = append(alloc.Profiles, p)
+	var err error
+	alloc.Profiles, alloc.Stability, err = d.profileStage(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	vf := func(ps []*switching.Profile) (bool, error) {
-		cfg := d.Opts.Verify
-		cfg.NondetTies = true
-		cfg.Policy = d.Opts.Policy
+	cache := d.Opts.Cache
+	if cache == nil {
+		cache = mapping.NewCache()
+	}
+	res, err := mapping.FirstFitCached(alloc.Profiles, d.verifyFunc(), cache)
+	if err != nil {
+		return nil, err
+	}
+	alloc.Slots = res.Slots
+	alloc.Verifications = res.Verifications
+	alloc.CacheHits = res.CacheHits
+	alloc.CacheMisses = res.CacheMisses
+	return alloc, nil
+}
+
+// verifyFunc builds the admission verifier from the options, threading the
+// engine's worker budget into the BFS unless the caller pinned it.
+func (d *Dimensioner) verifyFunc() mapping.VerifyFunc {
+	cfg := d.Opts.Verify
+	cfg.NondetTies = true
+	cfg.Policy = d.Opts.Policy
+	if cfg.Workers == 0 {
+		cfg.Workers = d.Opts.Workers
+	}
+	return func(ps []*switching.Profile) (bool, error) {
 		res, err := verify.Slot(ps, cfg)
 		if err != nil {
 			return false, err
 		}
 		return res.Schedulable, nil
 	}
-	res, err := mapping.FirstFit(alloc.Profiles, vf)
-	if err != nil {
-		return nil, err
-	}
-	alloc.Slots = res.Slots
-	alloc.Verifications = res.Verifications
-	return alloc, nil
 }
 
 // VerifySlotSharing checks whether the given applications can share one TT
@@ -139,6 +180,9 @@ func VerifySlotSharing(apps []App, opts Options) (verify.Result, []*switching.Pr
 	cfg := opts.Verify
 	cfg.NondetTies = true
 	cfg.Policy = opts.Policy
+	if cfg.Workers == 0 {
+		cfg.Workers = opts.Workers
+	}
 	res, err := verify.Slot(ps, cfg)
 	return res, ps, err
 }

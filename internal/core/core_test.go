@@ -10,12 +10,7 @@ import (
 )
 
 func caseApps() []App {
-	var out []App
-	for _, a := range plants.CaseStudy() {
-		out = append(out, App{Name: a.Name, Plant: a.Plant, KT: a.KT, KE: a.KE,
-			X0: a.X0, JStar: a.JStar, R: a.R})
-	}
-	return out
+	return CaseStudyApps()
 }
 
 // TestEndToEndDimensioning runs the whole pipeline on the case study and

@@ -1,0 +1,132 @@
+package mapping
+
+// Admission memoization: slot-sharing verification is by far the most
+// expensive step of dimensioning, and both the first-fit heuristic and the
+// exact DP partitioner — let alone repeated experiment sweeps — keep asking
+// the verifier about profile sets they have asked about before. The cache
+// keys each admission question by a canonical, order-independent fingerprint
+// of the profile set, so any permutation of the same profiles (and any
+// recomputation of identical profiles) reuses the stored verdict.
+
+import (
+	"math/bits"
+	"sync"
+
+	"tightcps/internal/switching"
+)
+
+// mix64 is the splitmix64 finalizer, used to scatter fingerprint words.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const fnvPrime = 1099511628211
+
+// profileFingerprint hashes the admission-relevant content of one profile:
+// name, timing parameters, and the full T*w/Tdw tables. Two profiles with
+// identical content hash identically even when recomputed.
+func profileFingerprint(p *switching.Profile) uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for i := 0; i < len(p.Name); i++ {
+		h = (h ^ uint64(p.Name[i])) * fnvPrime
+	}
+	word := func(v int) {
+		h = mix64(h ^ uint64(int64(v))*0x9e3779b97f4a7c15)
+	}
+	word(p.R)
+	word(p.JStar)
+	word(p.TwStar)
+	word(p.Granularity)
+	word(len(p.TdwMinus))
+	for _, v := range p.TdwMinus {
+		word(v)
+	}
+	word(len(p.TdwPlus))
+	for _, v := range p.TdwPlus {
+		word(v)
+	}
+	return h
+}
+
+// Fingerprint returns a canonical fingerprint of a profile set: per-profile
+// hashes combined commutatively (sum and rotated xor), so every permutation
+// of the same profiles yields the same key while sets differing in any
+// profile's tables, timing parameters or name yield different keys (modulo
+// 64-bit collisions).
+func Fingerprint(profiles []*switching.Profile) uint64 {
+	var sum, xor uint64
+	for _, p := range profiles {
+		h := profileFingerprint(p)
+		sum += h
+		xor ^= bits.RotateLeft64(h, 17)
+	}
+	return mix64(sum ^ bits.RotateLeft64(xor, 32) ^ uint64(len(profiles))*0x9e3779b97f4a7c15)
+}
+
+// Cache memoizes admission verdicts across FirstFit attempts, the DP
+// partitioner's subset enumeration, and repeated dimensioning runs. It is
+// safe for concurrent use. Verification errors are not cached.
+//
+// The key covers only the profile set, not the verifier configuration: a
+// Cache must not be shared between runs that verify under different policies
+// or disturbance bounds.
+type Cache struct {
+	mu           sync.Mutex
+	verdicts     map[uint64]bool
+	hits, misses int
+}
+
+// NewCache returns an empty admission cache.
+func NewCache() *Cache {
+	return &Cache{verdicts: map[uint64]bool{}}
+}
+
+// Do answers the admission question for the profile set, consulting the
+// cache before falling back to vf. The verifier runs outside the cache lock,
+// so concurrent callers may race to compute the same key; both runs return
+// the same verdict (the verifier is deterministic) and the first store wins.
+func (c *Cache) Do(profiles []*switching.Profile, vf VerifyFunc) (bool, error) {
+	key := Fingerprint(profiles)
+	c.mu.Lock()
+	if ok, hit := c.verdicts[key]; hit {
+		c.hits++
+		c.mu.Unlock()
+		return ok, nil
+	}
+	c.mu.Unlock()
+	ok, err := vf(profiles)
+	if err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	c.verdicts[key] = ok
+	c.misses++
+	c.mu.Unlock()
+	return ok, nil
+}
+
+// Wrap returns a VerifyFunc that memoizes vf through the cache.
+func (c *Cache) Wrap(vf VerifyFunc) VerifyFunc {
+	return func(profiles []*switching.Profile) (bool, error) {
+		return c.Do(profiles, vf)
+	}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.verdicts)
+}

@@ -34,8 +34,12 @@ func DefaultVerify(profiles []*switching.Profile) (bool, error) {
 type Result struct {
 	// Slots lists, per TT slot, the indices into the input profile list.
 	Slots [][]int
-	// Verifications counts admission checks performed.
+	// Verifications counts admission checks performed (cache hits included).
 	Verifications int
+	// CacheHits and CacheMisses count admission checks served from / added
+	// to the memoization cache. Both stay zero when no cache is used.
+	CacheHits   int
+	CacheMisses int
 }
 
 // SlotNames renders the partition with application names.
@@ -72,10 +76,27 @@ func SortOrder(profiles []*switching.Profile) []int {
 // FirstFit runs the paper's first-fit heuristic with the given admission
 // verifier (DefaultVerify when nil).
 func FirstFit(profiles []*switching.Profile, vf VerifyFunc) (*Result, error) {
+	return FirstFitCached(profiles, vf, nil)
+}
+
+// FirstFitCached is FirstFit with admission verdicts memoized through cache
+// (nil behaves like FirstFit). Result.CacheHits/CacheMisses report the
+// cache traffic of this run alone, so a cache shared across runs still
+// yields per-run accounting.
+func FirstFitCached(profiles []*switching.Profile, vf VerifyFunc, cache *Cache) (*Result, error) {
 	if vf == nil {
 		vf = DefaultVerify
 	}
 	res := &Result{}
+	var h0, m0 int
+	if cache != nil {
+		h0, m0 = cache.Stats()
+		vf = cache.Wrap(vf)
+		defer func() {
+			h1, m1 := cache.Stats()
+			res.CacheHits, res.CacheMisses = h1-h0, m1-m0
+		}()
+	}
 	for _, i := range SortOrder(profiles) {
 		placed := false
 		for si := range res.Slots {
@@ -107,8 +128,21 @@ func FirstFit(profiles []*switching.Profile, vf VerifyFunc) (*Result, error) {
 // the fewest feasible subsets (set-partition DP). Practical for n ≤ 10ish;
 // the case study has n = 6.
 func Optimal(profiles []*switching.Profile, vf VerifyFunc) (*Result, error) {
+	return OptimalCached(profiles, vf, nil)
+}
+
+// OptimalCached is Optimal with admission verdicts memoized through cache
+// (nil behaves like Optimal). A cache pre-populated by an earlier FirstFit
+// run — or by a previous sweep over the same profiles — eliminates every
+// duplicate subset verification from the 2ⁿ enumeration.
+func OptimalCached(profiles []*switching.Profile, vf VerifyFunc, cache *Cache) (*Result, error) {
 	if vf == nil {
 		vf = DefaultVerify
+	}
+	var h0, m0 int
+	if cache != nil {
+		h0, m0 = cache.Stats()
+		vf = cache.Wrap(vf)
 	}
 	n := len(profiles)
 	if n == 0 {
@@ -118,6 +152,12 @@ func Optimal(profiles []*switching.Profile, vf VerifyFunc) (*Result, error) {
 		return nil, fmt.Errorf("mapping: optimal partitioning limited to 16 apps, got %d", n)
 	}
 	res := &Result{}
+	if cache != nil {
+		defer func() {
+			h1, m1 := cache.Stats()
+			res.CacheHits, res.CacheMisses = h1-h0, m1-m0
+		}()
+	}
 	full := 1<<n - 1
 	feasible := make([]bool, full+1)
 	feasible[0] = true

@@ -1,0 +1,168 @@
+package verify
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel BFS tuning.
+const (
+	// serialLevelThreshold: levels with fewer frontier states than this are
+	// expanded on the calling goroutine — spawning workers for tiny levels
+	// (the first few samples, or single-app checks) costs more than it saves.
+	serialLevelThreshold = 512
+	// chunkSize is the work-stealing granularity: workers claim frontier
+	// states in blocks of this many via an atomic cursor, balancing levels
+	// whose expansion cost varies state to state.
+	chunkSize = 128
+)
+
+// noViolation is the sentinel for the atomic minimum-violating-state value.
+// Packed states are compared as raw uint64s; the minimum over all violating
+// states of a level is independent of frontier order, which makes the
+// parallel verdict (and Violator) deterministic across runs and worker
+// counts.
+const noViolation = math.MaxUint64
+
+// violRec records one violating frontier state found during a level.
+type violRec struct {
+	state uint64 // the packed frontier state whose expansion violated
+	app   int    // the application that missed its deadline
+}
+
+// bfsWorker holds one worker's reusable scratch and per-level output.
+type bfsWorker struct {
+	succ   []uint64
+	choice []uint32
+	next   []uint64 // fresh states discovered this level
+	trans  int      // successors generated this level
+	viols  []violRec
+}
+
+// runParallel performs the level-synchronous sharded BFS. It visits exactly
+// the states the sequential search visits: the visited set is sharded 64-way
+// by state hash, every level is a barrier, and within a level workers claim
+// frontier chunks from an atomic cursor. For schedulable sets the search is
+// exhaustive, so States, Transitions and Depth equal the sequential counts.
+// On a violation the level is still swept far enough to find the minimum
+// violating packed state, so Schedulable and Violator are deterministic
+// (though Violator may differ from the sequential path's first-in-expansion-
+// order pick when several applications can violate at the same depth).
+func (v *Verifier) runParallel(workers int) (Result, error) {
+	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
+	visited := newShardedU64Set(1 << 16)
+	init := v.initial()
+	visited.add(init)
+	frontier := []uint64{init}
+
+	var states atomic.Int64 // fresh states across the whole search
+	states.Store(1)
+	maxStates := int64(v.cfg.MaxStates)
+	var tooLarge atomic.Bool
+
+	ws := make([]*bfsWorker, workers)
+	for i := range ws {
+		ws[i] = &bfsWorker{}
+	}
+
+	for depth := 0; len(frontier) > 0; depth++ {
+		res.Depth = depth
+		var cursor atomic.Int64
+		var minViol atomic.Uint64
+		minViol.Store(noViolation)
+
+		expand := func(w *bfsWorker) {
+			w.next = w.next[:0]
+			w.trans = 0
+			w.viols = w.viols[:0]
+			for {
+				lo := int(cursor.Add(chunkSize)) - chunkSize
+				if lo >= len(frontier) || tooLarge.Load() {
+					return
+				}
+				hi := lo + chunkSize
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, s := range frontier[lo:hi] {
+					// A violating state smaller than s already decides this
+					// level; expanding s cannot change the verdict.
+					if mv := minViol.Load(); mv != noViolation && s > mv {
+						continue
+					}
+					w.succ = w.succ[:0]
+					w.choice = w.choice[:0]
+					var viol *violation
+					w.succ, w.choice, viol = v.successors(s, w.succ, w.choice)
+					if viol != nil {
+						w.viols = append(w.viols, violRec{state: s, app: viol.app})
+						for {
+							mv := minViol.Load()
+							if s >= mv || minViol.CompareAndSwap(mv, s) {
+								break
+							}
+						}
+						continue
+					}
+					w.trans += len(w.succ)
+					for _, ns := range w.succ {
+						if visited.add(ns) {
+							w.next = append(w.next, ns)
+							if states.Add(1) > maxStates {
+								tooLarge.Store(true)
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+
+		if len(frontier) < serialLevelThreshold {
+			expand(ws[0])
+			for _, w := range ws[1:] {
+				w.next, w.trans, w.viols = w.next[:0], 0, w.viols[:0]
+			}
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for _, w := range ws {
+				go func(w *bfsWorker) {
+					defer wg.Done()
+					expand(w)
+				}(w)
+			}
+			wg.Wait()
+		}
+
+		res.States = int(states.Load())
+		if tooLarge.Load() {
+			return res, ErrTooLarge
+		}
+		if mv := minViol.Load(); mv != noViolation {
+			res.Schedulable = false
+			for _, w := range ws {
+				for _, vr := range w.viols {
+					if vr.state == mv {
+						res.Violator = vr.app
+					}
+				}
+				res.Transitions += w.trans
+			}
+			return res, nil
+		}
+
+		total := 0
+		for _, w := range ws {
+			res.Transitions += w.trans
+			total += len(w.next)
+		}
+		next := make([]uint64, 0, total)
+		for _, w := range ws {
+			next = append(next, w.next...)
+		}
+		frontier = next
+	}
+	return res, nil
+}

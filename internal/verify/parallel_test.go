@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tightcps/internal/switching"
+)
+
+// TestParallelMatchesSequential: on every combination — schedulable and not,
+// exact and bounded — the sharded parallel BFS must return the sequential
+// verdict, and on schedulable sets (exhaustive search) the exact same
+// state/transition/depth counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name    string
+		ps      []*switching.Profile
+		bounded bool
+	}{
+		{"single", []*switching.Profile{prof("A", 5, 2, 4, 20)}, false},
+		{"overload", []*switching.Profile{prof("A", 0, 3, 5, 20), prof("B", 0, 3, 5, 20)}, false},
+		{"loosePair", []*switching.Profile{prof("A", 8, 2, 4, 40), prof("B", 8, 2, 4, 40)}, false},
+		{"tight", []*switching.Profile{prof("A", 3, 4, 6, 30), prof("B", 3, 4, 6, 30)}, false},
+		{"S2", caseProfiles(t, "C6", "C2"), false},
+		{"S1prefix", caseProfiles(t, "C1", "C5", "C4"), false},
+		{"rejected", caseProfiles(t, "C1", "C5", "C4", "C6"), false},
+		{"S2bounded", caseProfiles(t, "C6", "C2"), true},
+	}
+	for _, tc := range cases {
+		cfg := Config{NondetTies: true}
+		if tc.bounded {
+			cfg.MaxDisturbances = BoundFor(tc.ps)
+		}
+		cfg.Workers = 1
+		seq, err := Slot(tc.ps, cfg)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		var par [2]Result
+		for wi, workers := range []int{2, 8} {
+			cfg.Workers = workers
+			p, err := Slot(tc.ps, cfg)
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", tc.name, workers, err)
+			}
+			par[wi] = p
+			if p.Schedulable != seq.Schedulable {
+				t.Errorf("%s: workers=%d schedulable=%v, sequential=%v",
+					tc.name, workers, p.Schedulable, seq.Schedulable)
+			}
+			if seq.Schedulable {
+				if p.States != seq.States || p.Transitions != seq.Transitions || p.Depth != seq.Depth {
+					t.Errorf("%s: workers=%d counts (%d,%d,%d), sequential (%d,%d,%d)",
+						tc.name, workers, p.States, p.Transitions, p.Depth,
+						seq.States, seq.Transitions, seq.Depth)
+				}
+			}
+		}
+		// The parallel verdict and violator are deterministic across worker
+		// counts (minimum violating packed state, independent of ordering).
+		if !seq.Schedulable && par[0].Violator != par[1].Violator {
+			t.Errorf("%s: violator differs across worker counts: %d vs %d",
+				tc.name, par[0].Violator, par[1].Violator)
+		}
+	}
+}
+
+// TestParallelFullSlotS1 runs the paper's hardest verification in parallel
+// and cross-checks the exhaustive counts against the sequential search.
+func TestParallelFullSlotS1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full S1 state space twice")
+	}
+	ps := caseProfiles(t, "C1", "C5", "C4", "C3")
+	seq, err := Slot(ps, Config{NondetTies: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Slot(ps, Config{NondetTies: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Schedulable || par.States != seq.States ||
+		par.Transitions != seq.Transitions || par.Depth != seq.Depth {
+		t.Fatalf("parallel %+v, sequential %+v", par, seq)
+	}
+}
+
+// TestParallelMaxStatesAborts: the state cap also aborts the sharded search.
+func TestParallelMaxStatesAborts(t *testing.T) {
+	ps := caseProfiles(t, "C1", "C5", "C4", "C3")
+	res, err := Slot(ps, Config{NondetTies: true, MaxStates: 1000, Workers: 4})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	if res.States <= 1000 {
+		t.Fatalf("aborted with only %d states", res.States)
+	}
+}
+
+// TestShardedU64Set exercises the sharded set serially against a reference
+// map and concurrently for add-once semantics.
+func TestShardedU64Set(t *testing.T) {
+	s := newShardedU64Set(64)
+	rng := rand.New(rand.NewSource(11))
+	ref := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() | 1
+		if s.add(k) != !ref[k] {
+			t.Fatalf("add(%d) freshness mismatch", k)
+		}
+		ref[k] = true
+	}
+	for k := range ref {
+		if !s.contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if s.len() != len(ref) {
+		t.Fatalf("len=%d, want %d", s.len(), len(ref))
+	}
+
+	// Concurrently: every key claimed exactly once across goroutines.
+	s = newShardedU64Set(64)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = rng.Uint64() | 1
+	}
+	var fresh atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				if s.add(k) {
+					fresh.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := len(uniq(keys))
+	if int(fresh.Load()) != want {
+		t.Fatalf("fresh adds = %d, want %d", fresh.Load(), want)
+	}
+	if s.len() != want {
+		t.Fatalf("len = %d, want %d", s.len(), want)
+	}
+}
+
+func uniq(ks []uint64) map[uint64]bool {
+	m := map[uint64]bool{}
+	for _, k := range ks {
+		m[k] = true
+	}
+	return m
+}

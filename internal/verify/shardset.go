@@ -1,0 +1,69 @@
+package verify
+
+import "sync"
+
+// Sharding of the visited set for the parallel BFS: the shard is selected by
+// the top bits of the mixed hash, the open-addressing probe inside a shard by
+// the low bits, so the two never correlate.
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+)
+
+// shardedU64Set is a 64-way sharded variant of u64Set. Each shard carries its
+// own mutex, so concurrent adds from the BFS workers contend only when two
+// states hash to the same shard. The padding keeps shards on separate cache
+// lines.
+type shardedU64Set struct {
+	shards [numShards]setShard
+}
+
+type setShard struct {
+	mu  sync.Mutex
+	set *u64Set
+	_   [64 - 16]byte
+}
+
+// newShardedU64Set creates a sharded set with the given total initial
+// capacity spread across the shards.
+func newShardedU64Set(capacity int) *shardedU64Set {
+	per := capacity / numShards
+	if per < 16 {
+		per = 16
+	}
+	s := &shardedU64Set{}
+	for i := range s.shards {
+		s.shards[i].set = newU64Set(per)
+	}
+	return s
+}
+
+// add inserts k and reports whether it was absent. Safe for concurrent use.
+func (s *shardedU64Set) add(k uint64) bool {
+	sh := &s.shards[hashU64(k)>>(64-shardBits)]
+	sh.mu.Lock()
+	fresh := sh.set.add(k)
+	sh.mu.Unlock()
+	return fresh
+}
+
+// contains reports membership. Safe for concurrent use.
+func (s *shardedU64Set) contains(k uint64) bool {
+	sh := &s.shards[hashU64(k)>>(64-shardBits)]
+	sh.mu.Lock()
+	ok := sh.set.contains(k)
+	sh.mu.Unlock()
+	return ok
+}
+
+// len returns the number of stored keys across all shards.
+func (s *shardedU64Set) len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.set.len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -29,6 +29,7 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"tightcps/internal/sched"
 	"tightcps/internal/switching"
@@ -69,8 +70,17 @@ type Config struct {
 	// (0 = 200 million).
 	MaxStates int
 	// Trace records parent pointers so a counterexample trace can be
-	// reconstructed. Costs ~2× memory.
+	// reconstructed. Costs ~2× memory. Tracing forces the sequential
+	// search path regardless of Workers.
 	Trace bool
+	// Workers bounds the goroutines expanding the BFS frontier. 0 uses
+	// GOMAXPROCS; 1 forces the sequential search. The parallel search
+	// shards the visited set 64-way by state hash and synchronises at
+	// level boundaries; it visits exactly the same state space, so the
+	// verdict — and, for schedulable sets, States/Transitions/Depth — is
+	// identical to the sequential path. Small levels are expanded
+	// serially either way, so single-app checks do not regress.
+	Workers int
 }
 
 // Result reports a verification outcome.
@@ -416,8 +426,23 @@ func (v *Verifier) missCheck(c *cstate) *violation {
 	return nil
 }
 
-// Run performs the BFS reachability analysis.
+// Run performs the BFS reachability analysis, fanning the frontier out over
+// Config.Workers goroutines (sequentially when Workers is 1 or a trace is
+// requested).
 func (v *Verifier) Run() (Result, error) {
+	workers := v.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || v.cfg.Trace {
+		return v.runSequential()
+	}
+	return v.runParallel(workers)
+}
+
+// runSequential is the single-goroutine BFS: frontier states are expanded in
+// insertion order and the search stops at the first violation encountered.
+func (v *Verifier) runSequential() (Result, error) {
 	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
 	visited := newU64Set(1 << 16)
 	init := v.initial()
