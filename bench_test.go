@@ -1,13 +1,16 @@
 // Benchmarks regenerating every artefact of the paper's evaluation — one
 // benchmark per artefact (Table 1, Figs. 2–4 and 8–9, the Sec. 5
-// dimensioning and verification-time studies) plus ablations and the
+// dimensioning and verification-time studies) plus ablations, the
 // concurrent-engine scaling suite (Dimension/Verify at Workers=1 vs
-// GOMAXPROCS, admission-cache hit rates). Run:
+// GOMAXPROCS, admission-cache hit rates), and the wide-state fleet
+// verifications past the paper's 6-application scale. The engine and the
+// state encodings are documented in DESIGN.md. Run:
 //
 //	go test -bench=. -benchmem
 package tightcps_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -374,6 +377,87 @@ func BenchmarkOptimalPartitionCached(b *testing.B) {
 		hits += cold.CacheHits + warm.CacheHits
 	}
 	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+}
+
+// --- Wide-state verifier -------------------------------------------------
+
+// fleetProfiles builds n identical synthetic profiles (distinct names) with
+// constant dwell windows — the fleet workload of the wide encoding.
+func fleetProfiles(n, twStar, dm, dp, r int) []*switching.Profile {
+	out := make([]*switching.Profile, n)
+	for i := range out {
+		k := twStar + 1
+		minT, plusT := make([]int, k), make([]int, k)
+		for j := range minT {
+			minT[j], plusT[j] = dm, dp
+		}
+		out[i] = &switching.Profile{
+			Name: fmt.Sprintf("F%d", i), TwStar: twStar, TdwMinus: minT, TdwPlus: plusT,
+			R: r, Granularity: 1, JStar: twStar + dp,
+			JAtMin: make([]int, k), JBest: make([]int, k),
+		}
+	}
+	return out
+}
+
+// BenchmarkVerifyWideFleet9 model-checks a nine-application fleet — past
+// the paper's scale — on the multi-word encoding under the symmetry
+// quotient (sequentially; the parallel variant is the WorkersMax sibling).
+func BenchmarkVerifyWideFleet9(b *testing.B) {
+	ps := fleetProfiles(9, 8, 1, 2, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Slot(ps, verify.Config{
+			NondetTies: true, SymmetryReduction: true, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("9-app fleet must verify")
+		}
+	}
+}
+
+// BenchmarkVerifyWideFleet9WorkersMax is the same quotient search on the
+// sharded parallel BFS at full width.
+func BenchmarkVerifyWideFleet9WorkersMax(b *testing.B) {
+	ps := fleetProfiles(9, 8, 1, 2, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Slot(ps, verify.Config{
+			NondetTies: true, SymmetryReduction: true, Workers: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("9-app fleet must verify")
+		}
+	}
+}
+
+// BenchmarkSymmetryQuotient measures what the quotient buys on a set small
+// enough to also explore concretely: a four-instance fleet with and
+// without the reduction (compare against BenchmarkSymmetryFull).
+func BenchmarkSymmetryQuotient(b *testing.B) {
+	ps := fleetProfiles(4, 6, 1, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verify.Slot(ps, verify.Config{NondetTies: true, SymmetryReduction: true, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymmetryFull is the concrete-space sibling of
+// BenchmarkSymmetryQuotient.
+func BenchmarkSymmetryFull(b *testing.B) {
+	ps := fleetProfiles(4, 6, 1, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFirstFitWarmCache measures dimensioning against a fully warmed

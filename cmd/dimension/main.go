@@ -23,8 +23,12 @@ func main() {
 	appsFlag := flag.String("apps", "C1,C2,C3,C4,C5,C6", "comma-separated case-study applications")
 	stability := flag.Bool("stability", false, "certify switching stability (CQLF) for every pair")
 	lazy := flag.Bool("lazy", false, "verify under the lazy-preemption policy (paper future work)")
-	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; must be ≥ 0)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "dimension: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = serial), got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	var apps []core.App
 	for _, name := range strings.Split(*appsFlag, ",") {

@@ -10,18 +10,28 @@
 //	-fig9       Fig. 9: co-simulated responses on slot S2
 //	-verifytime Sec. 5: verification-time study (exact vs bounded)
 //	-all        everything above
+//
+// Beyond the paper's evaluation, -synthetic N dimensions a seeded random
+// workload of N applications (see internal/plants.Synthetic): first-fit
+// with exact wide-state verification under the symmetry quotient, a DP
+// partitioner comparison on a tractable sample, and per-run statistics
+// (slots needed, states explored, cache traffic). Slots of 8+ fleet
+// instances exercise the multi-word encoding past the paper's 6-app scale.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"time"
 
 	"tightcps/internal/baseline"
 	"tightcps/internal/mapping"
 	"tightcps/internal/plants"
+	"tightcps/internal/sched"
 	"tightcps/internal/sim"
 	"tightcps/internal/switching"
 	"tightcps/internal/textplot"
@@ -38,16 +48,30 @@ func main() {
 		fig8       = flag.Bool("fig8", false, "regenerate Fig. 8")
 		fig9       = flag.Bool("fig9", false, "regenerate Fig. 9")
 		verifytime = flag.Bool("verifytime", false, "regenerate the verification-time study")
-		all        = flag.Bool("all", false, "run every experiment")
+		all        = flag.Bool("all", false, "run every paper experiment above (excludes -synthetic)")
+		synthetic  = flag.Int("synthetic", 0, "dimension a synthetic workload of N applications (0 = off)")
+		seed       = flag.Int64("seed", 1, "random seed for -synthetic")
+		maxStates  = flag.Int("maxstates", 30_000_000, "per-admission state budget for -synthetic; busted checks are rejected conservatively")
 	)
-	flag.IntVar(&workers, "workers", 0, "worker pool size for verification (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&workers, "workers", 0, "worker pool size for verification (0 = GOMAXPROCS, 1 = serial; must be ≥ 0)")
 	flag.Parse()
+	if workers < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = serial), got %d\n", workers)
+		os.Exit(2)
+	}
+	if *synthetic < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -synthetic must be ≥ 0, got %d\n", *synthetic)
+		os.Exit(2)
+	}
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *mappingF, *fig8, *fig9, *verifytime = true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig2 || *fig3 || *fig4 || *mappingF || *fig8 || *fig9 || *verifytime) {
+	if !(*table1 || *fig2 || *fig3 || *fig4 || *mappingF || *fig8 || *fig9 || *verifytime || *synthetic > 0) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *synthetic > 0 {
+		runSynthetic(*synthetic, *seed, *maxStates)
 	}
 	if *fig2 {
 		runFig2()
@@ -340,6 +364,170 @@ func runFig9() {
 		[]string{"C6", "C2"},
 		[]sim.Disturbance{{Sample: 0, App: 1}, {Sample: 10, App: 0}},
 		120)
+}
+
+// runSynthetic dimensions a seeded synthetic workload end-to-end: archetype
+// profiling (one switching analysis per design, cloned across fleet
+// instances), first-fit mapping with exact wide-state verification under
+// the symmetry quotient, and a DP-partitioner comparison on a tractable
+// sample. Admission checks are prefiltered by counterexample replay
+// (verify.Refute) and bounded by the -maxstates budget; a busted budget
+// rejects conservatively (never unsoundly) and is reported.
+func runSynthetic(n int, seed int64, budget int) {
+	t0 := time.Now()
+	w := plants.Synthetic(plants.SyntheticOptions{N: n, Seed: seed})
+	fmt.Printf("== Synthetic dimensioning sweep: %d applications, %d archetypes, seed %d ==\n",
+		len(w.Apps), len(w.Designs), seed)
+
+	// One profile per archetype; instances share the design.
+	archProfs := make([]*switching.Profile, len(w.Designs))
+	firstApp := make([]int, len(w.Designs))
+	for i := range firstApp {
+		firstApp[i] = -1
+	}
+	for i, d := range w.ArchetypeOf {
+		if firstApp[d] < 0 {
+			firstApp[d] = i
+		}
+	}
+	for d := range w.Designs {
+		p, err := switching.Compute(plants.SwitchingPlant(w.Apps[firstApp[d]]),
+			switching.Config{Horizon: 800, Workers: workers})
+		if err != nil {
+			fmt.Printf("  archetype %02d dropped: %v\n", d, err)
+			continue
+		}
+		if p.R <= p.TwStar {
+			// The plant settles below tolerance during the wait itself, so
+			// T*w overtakes r; clamp conservatively to the sporadic model.
+			p.ClampTwStar(p.R - 1)
+		}
+		archProfs[d] = p
+		fmt.Printf("  archetype %02d: %d instances, JT=%d J*=%d T*w=%d r=%d maxTdw−=%d%s%s\n",
+			d, w.Designs[d].Instances, p.JT, p.JStar, p.TwStar, p.R, p.MaxTdwMinus(),
+			flagStr(w.Designs[d].Unstable, " [unstable]"), flagStr(w.Designs[d].Slack, " [slack]"))
+	}
+	var ps []*switching.Profile
+	var archOfPs []int // parallel to ps: the archetype each clone stems from
+	dropped := 0
+	for i, a := range w.Apps {
+		ap := archProfs[w.ArchetypeOf[i]]
+		if ap == nil {
+			dropped++
+			continue
+		}
+		ps = append(ps, ap.Clone(a.Name))
+		archOfPs = append(archOfPs, w.ArchetypeOf[i])
+	}
+	fmt.Printf("  profiled %d applications (%d dropped) in %.1fs\n", len(ps), dropped, time.Since(t0).Seconds())
+
+	// Admission verifier: replay prefilter, then the exact checker on the
+	// symmetry quotient with the state budget.
+	var statesExplored, budgetRejects, replayRefuted, encodingRejects int
+	vf := func(set []*switching.Profile) (bool, error) {
+		if verify.Refute(set, sched.PreemptEager) {
+			replayRefuted++
+			return false, nil
+		}
+		res, err := verify.Slot(set, verify.Config{
+			NondetTies: true, SymmetryReduction: true, Workers: workers, MaxStates: budget})
+		statesExplored += res.States
+		if errors.Is(err, verify.ErrTooLarge) {
+			budgetRejects++
+			return false, nil
+		}
+		if errors.Is(err, verify.ErrEncoding) {
+			// Candidate exceeds the packed encoding (today: 12 apps);
+			// reject conservatively rather than aborting the sweep.
+			encodingRejects++
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		return res.Schedulable, nil
+	}
+	// The budget makes verdicts configuration-dependent, so the sweep keeps
+	// its own cache instead of sharing admissionCache.
+	cache := mapping.NewCache()
+
+	t1 := time.Now()
+	ff, err := mapping.FirstFitCached(ps, vf, cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	maxSlot, deep := 0, 0
+	for _, s := range ff.Slots {
+		if len(s) > maxSlot {
+			maxSlot = len(s)
+		}
+		if len(s) >= 8 {
+			deep++
+		}
+	}
+	fmt.Printf("  first-fit: %d slots for %d applications (largest slot %d apps, %d slots with ≥8 apps) in %.1fs\n",
+		len(ff.Slots), len(ps), maxSlot, deep, time.Since(t1).Seconds())
+	fmt.Printf("  admission checks %d (%d served by cache), states explored %d\n",
+		ff.Verifications, ff.CacheHits, statesExplored)
+	fmt.Printf("  rejects: %d by counterexample replay, %d by state budget (conservative), %d over the encoding cap\n",
+		replayRefuted, budgetRejects, encodingRejects)
+	for si, names := range ff.SlotNames(ps) {
+		if len(names) >= 8 {
+			fmt.Printf("    slot S%d (%d apps): %v\n", si+1, len(names), names)
+		}
+	}
+
+	// DP partitioner comparison on a tractable sample: the instances of the
+	// two lowest-T*w archetypes (2^n subset checks stay cheap there, and
+	// the shared cache reuses every verdict first-fit already settled).
+	sample := dpSample(ps, archOfPs, archProfs)
+	if len(sample) >= 4 {
+		t2 := time.Now()
+		ffS, err1 := mapping.FirstFitCached(sample, vf, cache)
+		dp, err2 := mapping.OptimalCached(sample, vf, cache)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(os.Stderr, "DP sample:", errors.Join(err1, err2))
+			os.Exit(1)
+		}
+		fmt.Printf("  DP sample (%d apps of the 2 tightest archetypes): first-fit %d slots, optimal %d slots [%d subset checks, %d cached] in %.1fs\n",
+			len(sample), len(ffS.Slots), len(dp.Slots), dp.Verifications, dp.CacheHits, time.Since(t2).Seconds())
+	}
+	fmt.Printf("  total sweep time %.1fs\n\n", time.Since(t0).Seconds())
+}
+
+// dpSample picks up to 5 instances of each of the two archetypes with the
+// smallest T*w — a set whose 2^n subset enumeration stays tractable.
+// archOfPs maps each profile in ps to its archetype index.
+func dpSample(ps []*switching.Profile, archOfPs []int, archProfs []*switching.Profile) []*switching.Profile {
+	var live []int
+	for d, p := range archProfs {
+		if p != nil {
+			live = append(live, d)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return archProfs[live[i]].TwStar < archProfs[live[j]].TwStar })
+	if len(live) > 2 {
+		live = live[:2]
+	}
+	var out []*switching.Profile
+	for _, d := range live {
+		picked := 0
+		for i, inst := range ps {
+			if picked < 5 && archOfPs[i] == d {
+				out = append(out, inst)
+				picked++
+			}
+		}
+	}
+	return out
+}
+
+func flagStr(on bool, s string) string {
+	if on {
+		return s
+	}
+	return ""
 }
 
 func runVerifyTime() {

@@ -29,8 +29,12 @@ func main() {
 	bounded := flag.Bool("bounded", false, "use the bounded-disturbance acceleration")
 	useTA := flag.Bool("ta", false, "check the faithful Fig. 5–7 timed-automata network instead of the packed verifier")
 	lazy := flag.Bool("lazy", false, "verify the lazy-preemption policy")
-	workers := flag.Int("workers", 0, "BFS worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	workers := flag.Int("workers", 0, "BFS worker pool size (0 = GOMAXPROCS, 1 = sequential; must be ≥ 0)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "verifyslot: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	names := strings.Split(*appsFlag, ",")
 	for i := range names {

@@ -28,13 +28,15 @@ func mix64(x uint64) uint64 {
 const fnvPrime = 1099511628211
 
 // profileFingerprint hashes the admission-relevant content of one profile:
-// name, timing parameters, and the full T*w/Tdw tables. Two profiles with
-// identical content hash identically even when recomputed.
+// timing parameters and the full T*w/Tdw tables. The name is deliberately
+// excluded — admission verdicts depend only on profile content, so fleet
+// instances of one design (identical tables, distinct names) share cache
+// entries. A fleet's k-th admission check then hits the verdict computed
+// for the first k instances regardless of which instances fill the slot,
+// which collapses the dimensioning of large synthetic workloads from
+// O(instances × slots) verifications to one per distinct slot shape.
 func profileFingerprint(p *switching.Profile) uint64 {
 	h := uint64(1469598103934665603) // FNV-64 offset basis
-	for i := 0; i < len(p.Name); i++ {
-		h = (h ^ uint64(p.Name[i])) * fnvPrime
-	}
 	word := func(v int) {
 		h = mix64(h ^ uint64(int64(v))*0x9e3779b97f4a7c15)
 	}
@@ -56,8 +58,9 @@ func profileFingerprint(p *switching.Profile) uint64 {
 // Fingerprint returns a canonical fingerprint of a profile set: per-profile
 // hashes combined commutatively (sum and rotated xor), so every permutation
 // of the same profiles yields the same key while sets differing in any
-// profile's tables, timing parameters or name yield different keys (modulo
-// 64-bit collisions).
+// profile's tables or timing parameters yield different keys (modulo 64-bit
+// collisions). Names do not participate: sets that differ only in which
+// fleet instances of a design they contain share one key.
 func Fingerprint(profiles []*switching.Profile) uint64 {
 	var sum, xor uint64
 	for _, p := range profiles {

@@ -24,13 +24,18 @@ func TestFingerprintOrderIndependent(t *testing.T) {
 	if Fingerprint([]*switching.Profile{mkProfile("B", 5, 1), mkProfile("A", 3, 2), mkProfile("C", 7, 4)}) != base {
 		t.Error("identical recomputed profiles fingerprint differently")
 	}
+	// A renamed-but-identical profile is a fleet instance of the same design:
+	// the fingerprint deliberately ignores names, so the set hashes the same
+	// and the admission verdict is shared.
+	if Fingerprint([]*switching.Profile{a, b, mkProfile("D", 7, 4)}) != base {
+		t.Error("fleet instance (renamed, identical content) fingerprints differently")
+	}
 	distinct := map[uint64]string{base: "A,B,C"}
 	for _, tc := range []struct {
 		name string
 		ps   []*switching.Profile
 	}{
 		{"subset", []*switching.Profile{a, b}},
-		{"renamed", []*switching.Profile{a, b, mkProfile("D", 7, 4)}},
 		{"retimed", []*switching.Profile{a, b, mkProfile("C", 8, 4)}},
 		{"retabled", []*switching.Profile{a, b, mkProfile("C", 7, 5)}},
 		{"duplicated", []*switching.Profile{a, b, c, c}},

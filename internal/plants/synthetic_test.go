@@ -1,0 +1,88 @@
+package plants
+
+import (
+	"testing"
+
+	"tightcps/internal/switching"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	opt := SyntheticOptions{N: 40, Seed: 7}
+	a, b := Synthetic(opt), Synthetic(opt)
+	if len(a.Apps) != 40 || len(b.Apps) != 40 {
+		t.Fatalf("generated %d/%d apps, want 40", len(a.Apps), len(b.Apps))
+	}
+	for i := range a.Designs {
+		if a.Designs[i] != b.Designs[i] {
+			t.Fatalf("design %d differs across identical seeds", i)
+		}
+	}
+	c := Synthetic(SyntheticOptions{N: 40, Seed: 8})
+	same := true
+	for i := range a.Designs {
+		if a.Designs[i] != c.Designs[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical designs")
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	w := Synthetic(SyntheticOptions{N: 50, Archetypes: 5, UnstableFrac: 0.5, Seed: 3})
+	if len(w.Apps) != 50 || len(w.Designs) != 5 {
+		t.Fatalf("apps=%d designs=%d", len(w.Apps), len(w.Designs))
+	}
+	unstable := 0
+	for _, d := range w.Designs {
+		if d.Instances != 10 {
+			t.Errorf("design instances = %d, want 10", d.Instances)
+		}
+		if d.Unstable {
+			unstable++
+			if d.A <= 1 {
+				t.Errorf("unstable design has pole %v ≤ 1", d.A)
+			}
+		} else if d.A >= 1 {
+			t.Errorf("stable design has pole %v ≥ 1", d.A)
+		}
+	}
+	seen := map[string]bool{}
+	for i, a := range w.Apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate app name %s", a.Name)
+		}
+		seen[a.Name] = true
+		d := w.Designs[w.ArchetypeOf[i]]
+		if a.JStar != d.JStar || a.R != d.R {
+			t.Errorf("%s does not match its design", a.Name)
+		}
+	}
+}
+
+// TestSyntheticProfiles: generated designs must profile successfully and
+// land inside the verifier's encoding envelope — a nontrivial requirement
+// (JT ≤ J* < JE), a positive tolerable wait, dwell tables within the
+// packed-encoding caps, and the sporadic-model constraint r > T*w.
+func TestSyntheticProfiles(t *testing.T) {
+	w := Synthetic(SyntheticOptions{N: 6, Archetypes: 6, UnstableFrac: 0.5, Seed: 1})
+	for i, a := range w.Apps {
+		p, err := switching.Compute(SwitchingPlant(a), switching.Config{Horizon: 800})
+		if err != nil {
+			t.Fatalf("%s (design %+v): %v", a.Name, w.Designs[i], err)
+		}
+		if p.JT > a.JStar {
+			t.Errorf("%s: JT %d exceeds J* %d", a.Name, p.JT, a.JStar)
+		}
+		if p.TwStar < 1 {
+			t.Errorf("%s: T*w = %d, want ≥ 1", a.Name, p.TwStar)
+		}
+		if p.MaxTdwPlus() > 15 {
+			t.Errorf("%s: max Tdw+ %d exceeds the encoding cap 15", a.Name, p.MaxTdwPlus())
+		}
+		if p.R <= p.TwStar {
+			t.Errorf("%s: r %d ≤ T*w %d", a.Name, p.R, p.TwStar)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package switching
+
+import "testing"
+
+func clampProfile() *Profile {
+	return &Profile{
+		Name: "P", JStar: 12, R: 9, TwStar: 11, Granularity: 1,
+		TdwMinus: []int{3, 3, 3, 2, 2, 2, 2, 1, 1, 2, 2, 2},
+		TdwPlus:  []int{5, 5, 5, 4, 4, 4, 4, 3, 3, 4, 4, 4},
+		JAtMin:   make([]int, 12), JBest: make([]int, 12),
+	}
+}
+
+func TestClampTwStar(t *testing.T) {
+	p := clampProfile()
+	p.ClampTwStar(8)
+	if p.TwStar != 8 || len(p.TdwMinus) != 9 || len(p.TdwPlus) != 9 {
+		t.Fatalf("clamped to T*w=%d, tables %d/%d entries", p.TwStar, len(p.TdwMinus), len(p.TdwPlus))
+	}
+	if _, _, ok := p.Lookup(8); !ok {
+		t.Fatal("Lookup(8) failed after clamping to 8")
+	}
+	if _, _, ok := p.Lookup(9); ok {
+		t.Fatal("Lookup(9) succeeded past the clamp")
+	}
+	// Clamping above the current T*w is a no-op.
+	q := clampProfile()
+	q.ClampTwStar(20)
+	if q.TwStar != 11 || len(q.TdwMinus) != 12 {
+		t.Fatalf("no-op clamp changed the profile: T*w=%d", q.TwStar)
+	}
+	// Coarse grids clamp to the last fully-covered grid point.
+	g := clampProfile()
+	g.Granularity = 3
+	g.TdwMinus, g.TdwPlus = g.TdwMinus[:4], g.TdwPlus[:4] // cells 0,3,6,9
+	g.JAtMin, g.JBest = g.JAtMin[:4], g.JBest[:4]
+	g.TwStar = 9
+	g.ClampTwStar(8)
+	if g.TwStar != 6 || len(g.TdwMinus) != 3 {
+		t.Fatalf("coarse clamp: T*w=%d, %d cells", g.TwStar, len(g.TdwMinus))
+	}
+}
+
+func TestCloneIndependentName(t *testing.T) {
+	p := clampProfile()
+	c := p.Clone("Q")
+	if c.Name != "Q" || p.Name != "P" {
+		t.Fatalf("clone names: %s/%s", c.Name, p.Name)
+	}
+	if c.TwStar != p.TwStar || &c.TdwMinus[0] != &p.TdwMinus[0] {
+		t.Fatal("clone must share the computed tables")
+	}
+	// Clamping a clone must not shrink the original.
+	c.ClampTwStar(5)
+	if p.TwStar != 11 || len(p.TdwMinus) != 12 {
+		t.Fatal("clamping a clone mutated the original profile")
+	}
+}

@@ -400,6 +400,41 @@ func (p *Profile) Lookup(tw int) (dtMinus, dtPlus int, ok bool) {
 	return p.TdwMinus[idx], p.TdwPlus[idx], true
 }
 
+// Clone returns a copy of the profile under a new name. The dwell tables
+// are shared (they are read-only after computation), so instantiating a
+// fleet of applications from one computed design is free.
+func (p *Profile) Clone(name string) *Profile {
+	cp := *p
+	cp.Name = name
+	return &cp
+}
+
+// ClampTwStar truncates the profile to tolerate waits of at most maxTw
+// samples, dropping the table rows beyond it. The result is strictly more
+// conservative (the application claims less patience than it has), so every
+// guarantee derived from the clamped profile also holds for the original.
+// Used to restore the sporadic-model invariant r > T*w when a synthetic
+// application settles below tolerance during the wait itself (which lets
+// the computed T*w exceed J* and overtake r), and to fit encoding caps.
+func (p *Profile) ClampTwStar(maxTw int) {
+	if maxTw < 0 {
+		maxTw = 0
+	}
+	if p.TwStar <= maxTw {
+		return
+	}
+	n := maxTw/p.Granularity + 1
+	p.TwStar = (n - 1) * p.Granularity
+	p.TdwMinus = p.TdwMinus[:n]
+	p.TdwPlus = p.TdwPlus[:n]
+	if len(p.JAtMin) >= n {
+		p.JAtMin = p.JAtMin[:n]
+	}
+	if len(p.JBest) >= n {
+		p.JBest = p.JBest[:n]
+	}
+}
+
 // MaxTdwMinus returns max over Tw of Tdw−(Tw) — the tie-break key the
 // paper's first-fit mapping uses (called T−*dw there).
 func (p *Profile) MaxTdwMinus() int {

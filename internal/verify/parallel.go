@@ -137,9 +137,8 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 		}
 
 		res.States = int(states.Load())
-		if tooLarge.Load() {
-			return res, ErrTooLarge
-		}
+		// A recorded violation is definitive even when the state budget
+		// tripped in the same level — prefer the verdict over ErrTooLarge.
 		if mv := minViol.Load(); mv != noViolation {
 			res.Schedulable = false
 			for _, w := range ws {
@@ -152,6 +151,9 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 			}
 			return res, nil
 		}
+		if tooLarge.Load() {
+			return res, ErrTooLarge
+		}
 
 		total := 0
 		for _, w := range ws {
@@ -159,6 +161,151 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 			total += len(w.next)
 		}
 		next := make([]uint64, 0, total)
+		for _, w := range ws {
+			next = append(next, w.next...)
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// violRecW records one violating wide frontier state found during a level.
+type violRecW struct {
+	state wstate
+	app   int
+}
+
+// bfsWideWorker holds one worker's reusable scratch and per-level output
+// for the multi-word search.
+type bfsWideWorker struct {
+	succ   []wstate
+	choice []uint32
+	next   []wstate
+	trans  int
+	viols  []violRecW
+}
+
+// runParallelWide is runParallel over the multi-word encoding: the same
+// level-synchronous sharded BFS, with the minimum-violator tie-break taken
+// lexicographically over the state words (lessW) through an atomic pointer
+// instead of an atomic uint64. The determinism argument is unchanged: the
+// minimum violating packed state of the first violating level does not
+// depend on frontier order or worker count.
+func (v *Verifier) runParallelWide(workers int) (Result, error) {
+	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
+	visited := newShardedWideSet(1 << 12)
+	init := v.initialWide()
+	visited.add(init)
+	frontier := []wstate{init}
+
+	var states atomic.Int64
+	states.Store(1)
+	maxStates := int64(v.cfg.MaxStates)
+	var tooLarge atomic.Bool
+
+	ws := make([]*bfsWideWorker, workers)
+	for i := range ws {
+		ws[i] = &bfsWideWorker{}
+	}
+
+	for depth := 0; len(frontier) > 0; depth++ {
+		res.Depth = depth
+		var cursor atomic.Int64
+		var minViol atomic.Pointer[wstate]
+
+		expand := func(w *bfsWideWorker) {
+			w.next = w.next[:0]
+			w.trans = 0
+			w.viols = w.viols[:0]
+			for {
+				lo := int(cursor.Add(chunkSize)) - chunkSize
+				if lo >= len(frontier) || tooLarge.Load() {
+					return
+				}
+				hi := lo + chunkSize
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, s := range frontier[lo:hi] {
+					// A violating state smaller than s already decides this
+					// level; expanding s cannot change the verdict.
+					if mv := minViol.Load(); mv != nil && lessW(*mv, s) {
+						continue
+					}
+					w.succ = w.succ[:0]
+					w.choice = w.choice[:0]
+					var viol *violation
+					w.succ, w.choice, viol = v.successorsWide(s, w.succ, w.choice)
+					if viol != nil {
+						w.viols = append(w.viols, violRecW{state: s, app: viol.app})
+						for {
+							mv := minViol.Load()
+							if mv != nil && !lessW(s, *mv) {
+								break
+							}
+							sc := s
+							if minViol.CompareAndSwap(mv, &sc) {
+								break
+							}
+						}
+						continue
+					}
+					w.trans += len(w.succ)
+					for _, ns := range w.succ {
+						if visited.add(ns) {
+							w.next = append(w.next, ns)
+							if states.Add(1) > maxStates {
+								tooLarge.Store(true)
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+
+		if len(frontier) < serialLevelThreshold {
+			expand(ws[0])
+			for _, w := range ws[1:] {
+				w.next, w.trans, w.viols = w.next[:0], 0, w.viols[:0]
+			}
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for _, w := range ws {
+				go func(w *bfsWideWorker) {
+					defer wg.Done()
+					expand(w)
+				}(w)
+			}
+			wg.Wait()
+		}
+
+		res.States = int(states.Load())
+		// A recorded violation is definitive even when the state budget
+		// tripped in the same level — prefer the verdict over ErrTooLarge.
+		if mv := minViol.Load(); mv != nil {
+			res.Schedulable = false
+			for _, w := range ws {
+				for _, vr := range w.viols {
+					if vr.state == *mv {
+						res.Violator = vr.app
+					}
+				}
+				res.Transitions += w.trans
+			}
+			return res, nil
+		}
+		if tooLarge.Load() {
+			return res, ErrTooLarge
+		}
+
+		total := 0
+		for _, w := range ws {
+			res.Transitions += w.trans
+			total += len(w.next)
+		}
+		next := make([]wstate, 0, total)
 		for _, w := range ws {
 			next = append(next, w.next...)
 		}

@@ -67,3 +67,60 @@ func (s *shardedU64Set) len() int {
 	}
 	return n
 }
+
+// shardedWideSet is the multi-word sibling of shardedU64Set: the shard is
+// selected by the top bits of the chained word hash, so the wide parallel
+// BFS contends only when two states hash to the same shard.
+type shardedWideSet struct {
+	shards [numShards]wideShard
+}
+
+type wideShard struct {
+	mu  sync.Mutex
+	set *wideSet
+	_   [64 - 16]byte
+}
+
+// newShardedWideSet creates a sharded wide set with the given total initial
+// capacity spread across the shards.
+func newShardedWideSet(capacity int) *shardedWideSet {
+	per := capacity / numShards
+	if per < 16 {
+		per = 16
+	}
+	s := &shardedWideSet{}
+	for i := range s.shards {
+		s.shards[i].set = newWideSet(per)
+	}
+	return s
+}
+
+// add inserts k and reports whether it was absent. Safe for concurrent use.
+func (s *shardedWideSet) add(k wstate) bool {
+	sh := &s.shards[hashW(k)>>(64-shardBits)]
+	sh.mu.Lock()
+	fresh := sh.set.add(k)
+	sh.mu.Unlock()
+	return fresh
+}
+
+// contains reports membership. Safe for concurrent use.
+func (s *shardedWideSet) contains(k wstate) bool {
+	sh := &s.shards[hashW(k)>>(64-shardBits)]
+	sh.mu.Lock()
+	ok := sh.set.contains(k)
+	sh.mu.Unlock()
+	return ok
+}
+
+// len returns the number of stored keys across all shards.
+func (s *shardedWideSet) len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.set.len()
+		sh.mu.Unlock()
+	}
+	return n
+}

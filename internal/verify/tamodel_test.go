@@ -23,6 +23,11 @@ func TestTAModelAgreesWithPackedVerifier(t *testing.T) {
 		{"asym-pair", []*profSpec{{2, 2, 3, 15}, {9, 4, 6, 30}}},
 		{"barely", []*profSpec{{4, 2, 3, 20}, {4, 2, 3, 20}}},
 		{"hopeless-triple", []*profSpec{{1, 2, 3, 15}, {1, 2, 3, 15}, {1, 2, 3, 15}}},
+		// Past the old 6-app cap: the packed side runs the wide encoding.
+		// T*w = 0 keeps the generic engine's interleaving explosion shallow.
+		{"hopeless-seven", []*profSpec{
+			{0, 2, 3, 10}, {0, 2, 3, 10}, {0, 2, 3, 10}, {0, 2, 3, 10},
+			{0, 2, 3, 10}, {0, 2, 3, 10}, {0, 2, 3, 10}}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -13,7 +13,15 @@
 // of quiescent applications may have been disturbed during the preceding
 // interval (subject to the per-application minimum inter-arrival time r).
 //
-// Two modes are provided:
+// Two packed encodings back the same semantics: application sets whose
+// composed state fits one machine word use the original single-uint64
+// encoding (the fast path — every paper result runs here), larger sets up
+// to maxApps applications use the multi-word wide encoding of widestate.go.
+// Sets of applications with identical profiles can additionally be checked
+// under a sound symmetry quotient (Config.SymmetryReduction), collapsing
+// the state space of homogeneous fleets by up to n! per class.
+//
+// Two disturbance modes are provided:
 //
 //   - exact (default): unbounded disturbance instances — full reachability;
 //   - bounded: each application is limited to a given number of disturbance
@@ -35,9 +43,11 @@ import (
 	"tightcps/internal/switching"
 )
 
-// Limits of the packed encoding.
+// Limits of the packed encodings. maxApps is the wide-encoding cap; sets
+// whose composed state fits 64 bits (≤ 6 apps exact, ≤ 5 bounded) stay on
+// the one-word fast path.
 const (
-	maxApps   = 6
+	maxApps   = 12  // wide-encoding application cap
 	maxClock  = 127 // r, T*w ≤ 127 samples
 	maxTdw    = 15  // Tdw+ ≤ 15 samples
 	phaseBits = 2
@@ -81,6 +91,18 @@ type Config struct {
 	// identical to the sequential path. Small levels are expanded
 	// serially either way, so single-app checks do not regress.
 	Workers int
+	// SymmetryReduction canonicalises every state by sorting the lanes of
+	// applications with identical profiles (name excluded), exploring the
+	// quotient under those lane permutations. Permuting identical
+	// applications is an automorphism of the composed transition system,
+	// so Error reachability — the verdict — is preserved, while the state
+	// space of a fleet of k identical applications shrinks by up to k!.
+	// Disturbance choices over interchangeable applications collapse from
+	// subsets to counts, shrinking the branching factor the same way.
+	// With the reduction on, Result.Violator and state counts refer to
+	// the quotient (the violator index identifies the app's equivalence
+	// class). Incompatible with Trace.
+	SymmetryReduction bool
 }
 
 // Result reports a verification outcome.
@@ -117,7 +139,12 @@ type Verifier struct {
 	appBits  uint
 	occShift uint
 	ctShift  uint
-	wide     bool // state does not fit one uint64 (uses two-word set)
+	wide     bool // state does not fit one uint64 (multi-word encoding)
+	lanes    int  // wide layout: application lanes per word
+
+	// Symmetry quotient (nil unless Config.SymmetryReduction found classes).
+	symOf     []int   // app index → symmetry-group index, −1 when unique
+	symGroups [][]int // groups of ≥ 2 interchangeable application indices
 }
 
 // New constructs a Verifier for the applications described by the profiles.
@@ -153,10 +180,72 @@ func New(profiles []*switching.Profile, cfg Config) (*Verifier, error) {
 	v.occShift = uint(n) * v.appBits
 	v.ctShift = v.occShift + 4
 	v.wide = total > 64
-	if v.wide {
-		return nil, fmt.Errorf("%w: %d state bits exceed 64 (reduce apps or use unbounded mode)", ErrEncoding, total)
+	v.lanes = int(64 / v.appBits)
+	if n > v.lanes*wideAppWords {
+		return nil, fmt.Errorf("%w: %d applications exceed the %d lanes of the wide encoding",
+			ErrEncoding, n, v.lanes*wideAppWords)
+	}
+	if cfg.SymmetryReduction {
+		if cfg.Trace {
+			return nil, errors.New("verify: SymmetryReduction is incompatible with Trace (lane identities are quotiented away)")
+		}
+		v.buildSymmetry()
 	}
 	return v, nil
+}
+
+// buildSymmetry groups applications whose profiles are identical in every
+// field the verifier consults (name excluded): such applications are
+// interchangeable, and sorting their lanes yields a canonical quotient
+// representative.
+func (v *Verifier) buildSymmetry() {
+	v.symOf = make([]int, v.n)
+	for i := range v.symOf {
+		v.symOf[i] = -1
+	}
+	for i := 0; i < v.n; i++ {
+		if v.symOf[i] >= 0 {
+			continue
+		}
+		group := []int{i}
+		for j := i + 1; j < v.n; j++ {
+			if v.symOf[j] < 0 && sameProfile(v.profs[i], v.profs[j]) {
+				group = append(group, j)
+			}
+		}
+		if len(group) < 2 {
+			continue
+		}
+		id := len(v.symGroups)
+		for _, a := range group {
+			v.symOf[a] = id
+		}
+		v.symGroups = append(v.symGroups, group)
+	}
+	if len(v.symGroups) == 0 {
+		v.symOf = nil
+	}
+}
+
+// sameProfile reports whether two profiles are indistinguishable to the
+// verifier: same timing parameters and dwell tables. Names are ignored —
+// two fleet instances of one application design are interchangeable.
+func sameProfile(a, b *switching.Profile) bool {
+	if a.R != b.R || a.TwStar != b.TwStar || a.Granularity != b.Granularity ||
+		len(a.TdwMinus) != len(b.TdwMinus) || len(a.TdwPlus) != len(b.TdwPlus) {
+		return false
+	}
+	for i := range a.TdwMinus {
+		if a.TdwMinus[i] != b.TdwMinus[i] {
+			return false
+		}
+	}
+	for i := range a.TdwPlus {
+		if a.TdwPlus[i] != b.TdwPlus[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // cstate is the decoded composed state.
@@ -218,15 +307,42 @@ type violation struct {
 	app int
 }
 
-// successors expands one state. For every subset of disturbance-eligible
-// applications it applies the shared per-sample semantics and appends the
-// resulting packed states to out. It returns a non-nil violation if any
-// choice leads to a deadline miss. choices records, parallel to out, the
-// disturbance subset (bitmask) that produced each successor.
-func (v *Verifier) successors(s uint64, out []uint64, choices []uint32) ([]uint64, []uint32, *violation) {
-	var base cstate
-	v.unpack(s, &base)
+// laneKey totally orders one application's lane content for the symmetry
+// canonicalisation.
+func laneKey(c *cstate, i int) int {
+	return int(c.phase[i]) | int(c.val[i])<<2 | int(c.cnt[i])<<9
+}
 
+// canon rewrites c into the canonical representative of its symmetry orbit:
+// within every group of identical-profile applications, lanes are sorted by
+// content, and the occupant index follows its lane. A no-op when no
+// symmetry groups exist.
+func (v *Verifier) canon(c *cstate) {
+	for _, g := range v.symGroups {
+		for i := 1; i < len(g); i++ {
+			for j := i; j > 0 && laneKey(c, g[j]) < laneKey(c, g[j-1]); j-- {
+				a, b := g[j], g[j-1]
+				c.phase[a], c.phase[b] = c.phase[b], c.phase[a]
+				c.val[a], c.val[b] = c.val[b], c.val[a]
+				c.cnt[a], c.cnt[b] = c.cnt[b], c.cnt[a]
+				if int(c.occ) == a {
+					c.occ = int8(b)
+				} else if int(c.occ) == b {
+					c.occ = int8(a)
+				}
+			}
+		}
+	}
+}
+
+// expand applies the shared per-sample semantics to one decoded state: it
+// advances clocks, enumerates the adversarial disturbance choices, and calls
+// emit for every post-scheduling successor together with the disturbance
+// bitmask that produced it. base is consumed (clock-advanced in place). It
+// returns a non-nil violation as soon as any choice leads to a deadline
+// miss. Both packed encodings route their successor generation through
+// here, so narrow and wide searches explore identical semantics.
+func (v *Verifier) expand(base *cstate, emit func(*cstate, uint32)) *violation {
 	// Step 1–2: advance clocks; finish cooldowns.
 	for i := 0; i < v.n; i++ {
 		switch base.phase[i] {
@@ -257,8 +373,12 @@ func (v *Verifier) successors(s uint64, out []uint64, choices []uint32) ([]uint6
 		elig = append(elig, i)
 	}
 
+	if v.symGroups != nil {
+		return v.expandGrouped(base, elig, emit)
+	}
+
 	for mask := 0; mask < 1<<len(elig); mask++ {
-		c := base
+		c := *base
 		for b, app := range elig {
 			if mask&(1<<b) != 0 {
 				c.phase[app] = pWaiting
@@ -270,14 +390,137 @@ func (v *Verifier) successors(s uint64, out []uint64, choices []uint32) ([]uint6
 		}
 		viol, granted := v.schedule(&c)
 		if viol != nil {
-			return out, choices, viol
+			return viol
 		}
+		m := eligMask(elig, mask)
 		for _, g := range granted {
-			out = append(out, v.pack(g))
-			choices = append(choices, eligMask(elig, mask))
+			emit(g, m)
 		}
 	}
-	return out, choices, nil
+	return nil
+}
+
+// expandGrouped is the symmetry-aware disturbance enumeration: eligible
+// applications are partitioned into interchangeable groups (same symmetry
+// class, same disturbance count — identical lane content, since Steady
+// lanes carry val 0), and only the number disturbed per group is chosen.
+// The branching factor drops from 2^e subsets to Π(|group|+1) count
+// vectors; every successor is canonicalised before emission. All scratch
+// lives in fixed-size stack arrays — this runs once per explored state,
+// tens of millions of times per fleet check.
+func (v *Verifier) expandGrouped(base *cstate, elig []int, emit func(*cstate, uint32)) *violation {
+	// members holds the eligible apps reordered group by group;
+	// groupEnd[g] is the end offset of group g within it.
+	var members [maxApps]int8
+	var groupEnd [maxApps]int8
+	var groupCls [maxApps]int16 // symmetry class of each group, −1 singleton
+	var groupCnt [maxApps]uint8 // disturbance count shared by the group
+	ngroups := 0
+	pos := int8(0)
+	for _, a := range elig {
+		gi := -1
+		if cls := v.symOf[a]; cls >= 0 {
+			for g := 0; g < ngroups; g++ {
+				if groupCls[g] == int16(cls) && groupCnt[g] == base.cnt[a] {
+					gi = g
+					break
+				}
+			}
+			if gi < 0 {
+				gi = ngroups
+				groupCls[gi] = int16(cls)
+			}
+		} else {
+			gi = ngroups
+			groupCls[gi] = -1
+		}
+		if gi == ngroups {
+			groupCnt[gi] = base.cnt[a]
+			ngroups++
+			// New groups open at the end; existing groups grow by shifting
+			// the (few) later members right.
+			members[pos] = int8(a)
+			groupEnd[gi] = pos + 1
+			pos++
+			continue
+		}
+		insert := groupEnd[gi]
+		for j := pos; j > insert; j-- {
+			members[j] = members[j-1]
+		}
+		members[insert] = int8(a)
+		for g := gi; g < ngroups; g++ {
+			groupEnd[g]++
+		}
+		pos++
+	}
+
+	var counts [maxApps]int8
+	for {
+		c := *base
+		var m uint32
+		start := int8(0)
+		for g := 0; g < ngroups; g++ {
+			for k := start; k < start+counts[g]; k++ {
+				app := int(members[k])
+				c.phase[app] = pWaiting
+				c.val[app] = 0
+				if v.cfg.MaxDisturbances > 0 {
+					c.cnt[app]++
+				}
+				m |= 1 << uint(app)
+			}
+			start = groupEnd[g]
+		}
+		viol, granted := v.schedule(&c)
+		if viol != nil {
+			return viol
+		}
+		for _, g := range granted {
+			v.canon(g)
+			emit(g, m)
+		}
+		// Odometer over per-group disturbance counts.
+		gi := 0
+		for ; gi < ngroups; gi++ {
+			size := groupEnd[gi]
+			if gi > 0 {
+				size -= groupEnd[gi-1]
+			}
+			counts[gi]++
+			if counts[gi] <= size {
+				break
+			}
+			counts[gi] = 0
+		}
+		if gi == ngroups {
+			return nil
+		}
+	}
+}
+
+// successors expands one narrow-packed state, appending the resulting packed
+// states to out. choices records, parallel to out, the disturbance subset
+// (bitmask) that produced each successor.
+func (v *Verifier) successors(s uint64, out []uint64, choices []uint32) ([]uint64, []uint32, *violation) {
+	var base cstate
+	v.unpack(s, &base)
+	viol := v.expand(&base, func(c *cstate, m uint32) {
+		out = append(out, v.pack(c))
+		choices = append(choices, m)
+	})
+	return out, choices, viol
+}
+
+// successorsWide is successors over the multi-word encoding.
+func (v *Verifier) successorsWide(s wstate, out []wstate, choices []uint32) ([]wstate, []uint32, *violation) {
+	var base cstate
+	v.unpackWide(s, &base)
+	viol := v.expand(&base, func(c *cstate, m uint32) {
+		out = append(out, v.packWide(c))
+		choices = append(choices, m)
+	})
+	return out, choices, viol
 }
 
 // eligMask converts a subset index over elig into an app bitmask.
@@ -428,11 +671,18 @@ func (v *Verifier) missCheck(c *cstate) *violation {
 
 // Run performs the BFS reachability analysis, fanning the frontier out over
 // Config.Workers goroutines (sequentially when Workers is 1 or a trace is
-// requested).
+// requested). Application sets that do not fit the one-word encoding run on
+// the multi-word wide path with identical semantics.
 func (v *Verifier) Run() (Result, error) {
 	workers := v.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if v.wide {
+		if workers == 1 || v.cfg.Trace {
+			return v.runSequentialWide()
+		}
+		return v.runParallelWide(workers)
 	}
 	if workers == 1 || v.cfg.Trace {
 		return v.runSequential()
@@ -491,8 +741,63 @@ func (v *Verifier) runSequential() (Result, error) {
 	return res, nil
 }
 
+// runSequentialWide mirrors runSequential over the multi-word encoding.
+func (v *Verifier) runSequentialWide() (Result, error) {
+	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
+	visited := newWideSet(1 << 12)
+	init := v.initialWide()
+	visited.add(init)
+	frontier := []wstate{init}
+	var parents map[wstate]parentEdgeWide
+	if v.cfg.Trace {
+		parents = map[wstate]parentEdgeWide{}
+	}
+	res.States = 1
+
+	var succBuf []wstate
+	var choiceBuf []uint32
+	for depth := 0; len(frontier) > 0; depth++ {
+		res.Depth = depth
+		var next []wstate
+		for _, s := range frontier {
+			succBuf = succBuf[:0]
+			choiceBuf = choiceBuf[:0]
+			var viol *violation
+			succBuf, choiceBuf, viol = v.successorsWide(s, succBuf, choiceBuf)
+			if viol != nil {
+				res.Schedulable = false
+				res.Violator = viol.app
+				if v.cfg.Trace {
+					res.Counterexample = v.rebuildTraceWide(parents, s, init)
+				}
+				return res, nil
+			}
+			res.Transitions += len(succBuf)
+			for i, ns := range succBuf {
+				if visited.add(ns) {
+					res.States++
+					if res.States > v.cfg.MaxStates {
+						return res, ErrTooLarge
+					}
+					if v.cfg.Trace {
+						parents[ns] = parentEdgeWide{prev: s, disturbed: choiceBuf[i]}
+					}
+					next = append(next, ns)
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
 type parentEdge struct {
 	prev      uint64
+	disturbed uint32
+}
+
+type parentEdgeWide struct {
+	prev      wstate
 	disturbed uint32
 }
 
@@ -512,6 +817,26 @@ func (v *Verifier) rebuildTrace(parents map[uint64]parentEdge, last, init uint64
 		rev = append(rev, e.disturbed)
 		s = e.prev
 	}
+	return v.traceFromMasks(rev)
+}
+
+// rebuildTraceWide is rebuildTrace over the multi-word encoding.
+func (v *Verifier) rebuildTraceWide(parents map[wstate]parentEdgeWide, last, init wstate) [][]int {
+	var rev []uint32
+	for s := last; s != init; {
+		e, ok := parents[s]
+		if !ok {
+			break
+		}
+		rev = append(rev, e.disturbed)
+		s = e.prev
+	}
+	return v.traceFromMasks(rev)
+}
+
+// traceFromMasks converts a reversed list of disturbance bitmasks into the
+// forward schedule (step k → apps disturbed at sample k).
+func (v *Verifier) traceFromMasks(rev []uint32) [][]int {
 	out := make([][]int, len(rev))
 	for i := range rev {
 		m := rev[len(rev)-1-i]

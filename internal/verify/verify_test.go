@@ -255,13 +255,17 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New([]*switching.Profile{prof("A", 5, 2, 4, 20)}, Config{MaxDisturbances: 9}); err == nil {
 		t.Fatal("bound 9 accepted (needs >2 bits)")
 	}
-	// Seven apps exceed the packing.
+	// Thirteen apps exceed even the wide packing.
 	var many []*switching.Profile
-	for i := 0; i < 7; i++ {
+	for i := 0; i < 13; i++ {
 		many = append(many, prof("A", 5, 2, 4, 20))
 	}
 	if _, err := New(many, Config{}); err == nil {
-		t.Fatal("7 apps accepted")
+		t.Fatal("13 apps accepted")
+	}
+	// Symmetry reduction cannot produce counterexample traces.
+	if _, err := New([]*switching.Profile{prof("A", 5, 2, 4, 20)}, Config{SymmetryReduction: true, Trace: true}); err == nil {
+		t.Fatal("SymmetryReduction+Trace accepted")
 	}
 }
 

@@ -1,0 +1,79 @@
+package verify
+
+// wideSet is the multi-word sibling of u64Set: an open-addressing hash set
+// of wstate keys. The all-zero wstate is the empty-slot sentinel; the wide
+// encoding can never produce it (the header word is nonzero whenever the
+// slot is idle, and an occupant's lane is nonzero otherwise).
+type wideSet struct {
+	slots []wstate
+	n     int
+	mask  uint64
+}
+
+// newWideSet creates a set with the given initial capacity (rounded up to a
+// power of two).
+func newWideSet(capacity int) *wideSet {
+	size := 16
+	for size < capacity {
+		size <<= 1
+	}
+	return &wideSet{slots: make([]wstate, size), mask: uint64(size - 1)}
+}
+
+// add inserts k and reports whether it was absent.
+func (s *wideSet) add(k wstate) bool {
+	if k == (wstate{}) {
+		panic("wideSet: zero key is reserved")
+	}
+	if 4*(s.n+1) > 3*len(s.slots) {
+		s.grow()
+	}
+	i := hashW(k) & s.mask
+	for {
+		v := s.slots[i]
+		if v == (wstate{}) {
+			s.slots[i] = k
+			s.n++
+			return true
+		}
+		if v == k {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// contains reports membership.
+func (s *wideSet) contains(k wstate) bool {
+	i := hashW(k) & s.mask
+	for {
+		v := s.slots[i]
+		if v == (wstate{}) {
+			return false
+		}
+		if v == k {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// len returns the number of stored keys.
+func (s *wideSet) len() int { return s.n }
+
+func (s *wideSet) grow() {
+	old := s.slots
+	s.slots = make([]wstate, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	s.n = 0
+	for _, v := range old {
+		if v != (wstate{}) {
+			i := hashW(v) & s.mask
+			for s.slots[i] != (wstate{}) {
+				i = (i + 1) & s.mask
+			}
+			s.slots[i] = v
+			s.n++
+		}
+	}
+}
