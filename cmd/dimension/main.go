@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	dimension [-apps C1,C2,...] [-stability] [-lazy] [-workers N]
+//	dimension [-apps C1,C2,...] [-stability] [-lazy] [-workers N] [-cachefile warm.bin]
+//
+// -cachefile persists the admission cache across invocations: verdicts are
+// loaded before the run (a missing file is a cold start) and saved back
+// after, so repeated dimensioning — CI sweeps in particular — skips every
+// slot-sharing verification it has already settled. The file is salted
+// with the verification config, so a cache produced under a different
+// policy never answers for this run.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"tightcps/internal/core"
+	"tightcps/internal/mapping"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
 )
@@ -24,6 +32,7 @@ func main() {
 	stability := flag.Bool("stability", false, "certify switching stability (CQLF) for every pair")
 	lazy := flag.Bool("lazy", false, "verify under the lazy-preemption policy (paper future work)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; must be ≥ 0)")
+	cachefile := flag.String("cachefile", "", "load/save the admission cache at this path (warm starts across runs)")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "dimension: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = serial), got %d\n", *workers)
@@ -42,6 +51,30 @@ func main() {
 	opts := core.Options{CheckSwitchingStability: *stability, Workers: *workers}
 	if *lazy {
 		opts.Policy = sched.PreemptLazy
+	}
+	if *cachefile != "" {
+		// Mirror the engine's admission config (core.Dimensioner.verifyFunc)
+		// so the cache salt matches what the verdicts were computed under.
+		vcfg := opts.Verify
+		vcfg.NondetTies = true
+		vcfg.Policy = opts.Policy
+		cache := mapping.NewCacheFor(mapping.VerifyConfigKey(vcfg))
+		loaded, err := cache.LoadFile(*cachefile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dimension: loading admission cache:", err)
+			os.Exit(1)
+		}
+		if loaded {
+			fmt.Printf("admission cache: warm start with %d verdicts from %s\n", cache.Len(), *cachefile)
+		}
+		opts.Cache = cache
+		defer func() {
+			if err := cache.SaveFile(*cachefile); err != nil {
+				fmt.Fprintln(os.Stderr, "dimension: saving admission cache:", err)
+				return
+			}
+			fmt.Printf("admission cache: %d verdicts saved to %s\n", cache.Len(), *cachefile)
+		}()
 	}
 	d := &core.Dimensioner{Apps: apps, Opts: opts}
 	t0 := time.Now()

@@ -17,6 +17,19 @@
 // partitioner comparison on a tractable sample, and per-run statistics
 // (slots needed, states explored, cache traffic). Slots of 8+ fleet
 // instances exercise the multi-word encoding past the paper's 6-app scale.
+//
+// Scale-out and warm-start knobs:
+//
+//	-nodes K / -connect a,b   run every slot verification on the distributed
+//	                          backend (K in-process loopback workers, or
+//	                          cmd/verifyd daemons over TCP); -maxstates then
+//	                          budgets states per node
+//	-cachefile warm.bin       persist the -synthetic admission cache across
+//	                          invocations (config-salted, safe across runs)
+//	-granularity-sweep l,h,s  re-dimension the -synthetic workload at every
+//	                          Tw granularity in [l,h] step s, charting slots
+//	                          needed against dwell-table words (replaces the
+//	                          single-granularity sweep)
 package main
 
 import (
@@ -26,9 +39,12 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"tightcps/internal/baseline"
+	"tightcps/internal/dverify"
 	"tightcps/internal/mapping"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
@@ -51,7 +67,11 @@ func main() {
 		all        = flag.Bool("all", false, "run every paper experiment above (excludes -synthetic)")
 		synthetic  = flag.Int("synthetic", 0, "dimension a synthetic workload of N applications (0 = off)")
 		seed       = flag.Int64("seed", 1, "random seed for -synthetic")
-		maxStates  = flag.Int("maxstates", 30_000_000, "per-admission state budget for -synthetic; busted checks are rejected conservatively")
+		maxStates  = flag.Int("maxstates", 30_000_000, "per-admission state budget for -synthetic (per node when distributed); busted checks are rejected conservatively")
+		nodes      = flag.Int("nodes", 0, "distribute slot verification over K in-process loopback workers (0 = local)")
+		connect    = flag.String("connect", "", "distribute slot verification over verifyd workers at these comma-separated addresses")
+		cachefile  = flag.String("cachefile", "", "load/save the -synthetic admission cache at this path (warm starts across runs)")
+		granSweep  = flag.String("granularity-sweep", "", "with -synthetic: re-dimension at every Tw granularity lo,hi,step (e.g. 1,8,1)")
 	)
 	flag.IntVar(&workers, "workers", 0, "worker pool size for verification (0 = GOMAXPROCS, 1 = serial; must be ≥ 0)")
 	flag.Parse()
@@ -63,6 +83,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -synthetic must be ≥ 0, got %d\n", *synthetic)
 		os.Exit(2)
 	}
+	if *granSweep != "" && *synthetic == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -granularity-sweep requires -synthetic N")
+		os.Exit(2)
+	}
+	if *granSweep != "" && *cachefile != "" {
+		// Each granularity verifies differently-coarsened profiles under its
+		// own salt, so one cache file cannot warm the sweep; reject rather
+		// than silently ignore the flag.
+		fmt.Fprintln(os.Stderr, "experiments: -cachefile applies to the plain -synthetic sweep, not -granularity-sweep")
+		os.Exit(2)
+	}
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *mappingF, *fig8, *fig9, *verifytime = true, true, true, true, true, true, true, true
 	}
@@ -70,8 +101,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ts, clusterDesc, err := dverify.Cluster(*nodes, *connect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if ts != nil {
+		defer dverify.Close(ts)
+		distRunner, distNodes = dverify.Runner(ts), len(ts)
+		fmt.Println(clusterDesc)
+	}
 	if *synthetic > 0 {
-		runSynthetic(*synthetic, *seed, *maxStates)
+		if *granSweep != "" {
+			lo, hi, step, err := parseSweepRange(*granSweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			runGranularitySweep(*synthetic, *seed, *maxStates, lo, hi, step)
+		} else {
+			runSynthetic(*synthetic, *seed, *maxStates, *cachefile)
+		}
 	}
 	if *fig2 {
 		runFig2()
@@ -102,18 +152,49 @@ func main() {
 // workers is the shared -workers flag value.
 var workers int
 
+// distRunner and distNodes carry the -nodes/-connect cluster: when
+// distRunner is non-nil every slot verification routes through the
+// distributed backend, and distNodes salts budget-dependent cache keys
+// (the per-node budget scales aggregate capacity with the cluster size).
+var (
+	distRunner func([]*switching.Profile, verify.Config) (verify.Result, error)
+	distNodes  int
+)
+
 // admissionCache memoizes slot-admission verdicts across the experiments of
 // one invocation (e.g. -mapping's first-fit and optimal sweeps).
 var admissionCache = mapping.NewCache()
 
 // slotVerify is the admission verifier the experiments share: the exact
-// packed checker with nondeterministic ties, fanned out over -workers.
+// packed checker with nondeterministic ties, fanned out over -workers (or
+// over the -nodes/-connect cluster).
 func slotVerify(ps []*switching.Profile) (bool, error) {
-	res, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers})
+	res, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers, Distributed: distRunner})
 	if err != nil {
 		return false, err
 	}
 	return res.Schedulable, nil
+}
+
+// parseSweepRange parses a lo,hi,step triple.
+func parseSweepRange(s string) (lo, hi, step int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-granularity-sweep wants lo,hi,step, got %q", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("-granularity-sweep %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	lo, hi, step = vals[0], vals[1], vals[2]
+	if lo < 1 || hi < lo || step < 1 {
+		return 0, 0, 0, fmt.Errorf("-granularity-sweep %q wants 1 ≤ lo ≤ hi and step ≥ 1", s)
+	}
+	return lo, hi, step, nil
 }
 
 func profiles() map[string]*switching.Profile {
@@ -366,20 +447,10 @@ func runFig9() {
 		120)
 }
 
-// runSynthetic dimensions a seeded synthetic workload end-to-end: archetype
-// profiling (one switching analysis per design, cloned across fleet
-// instances), first-fit mapping with exact wide-state verification under
-// the symmetry quotient, and a DP-partitioner comparison on a tractable
-// sample. Admission checks are prefiltered by counterexample replay
-// (verify.Refute) and bounded by the -maxstates budget; a busted budget
-// rejects conservatively (never unsoundly) and is reported.
-func runSynthetic(n int, seed int64, budget int) {
-	t0 := time.Now()
-	w := plants.Synthetic(plants.SyntheticOptions{N: n, Seed: seed})
-	fmt.Printf("== Synthetic dimensioning sweep: %d applications, %d archetypes, seed %d ==\n",
-		len(w.Apps), len(w.Designs), seed)
-
-	// One profile per archetype; instances share the design.
+// archetypeProfiles computes one switching profile per archetype of the
+// workload at the given Tw granularity (instances share the design). Nil
+// entries mark dropped archetypes.
+func archetypeProfiles(w *plants.SyntheticWorkload, granularity int, verbose bool) []*switching.Profile {
 	archProfs := make([]*switching.Profile, len(w.Designs))
 	firstApp := make([]int, len(w.Designs))
 	for i := range firstApp {
@@ -392,9 +463,11 @@ func runSynthetic(n int, seed int64, budget int) {
 	}
 	for d := range w.Designs {
 		p, err := switching.Compute(plants.SwitchingPlant(w.Apps[firstApp[d]]),
-			switching.Config{Horizon: 800, Workers: workers})
+			switching.Config{Horizon: 800, Workers: workers, TwGranularity: granularity})
 		if err != nil {
-			fmt.Printf("  archetype %02d dropped: %v\n", d, err)
+			if verbose {
+				fmt.Printf("  archetype %02d dropped: %v\n", d, err)
+			}
 			continue
 		}
 		if p.R <= p.TwStar {
@@ -403,13 +476,19 @@ func runSynthetic(n int, seed int64, budget int) {
 			p.ClampTwStar(p.R - 1)
 		}
 		archProfs[d] = p
-		fmt.Printf("  archetype %02d: %d instances, JT=%d J*=%d T*w=%d r=%d maxTdw−=%d%s%s\n",
-			d, w.Designs[d].Instances, p.JT, p.JStar, p.TwStar, p.R, p.MaxTdwMinus(),
-			flagStr(w.Designs[d].Unstable, " [unstable]"), flagStr(w.Designs[d].Slack, " [slack]"))
+		if verbose {
+			fmt.Printf("  archetype %02d: %d instances, JT=%d J*=%d T*w=%d r=%d maxTdw−=%d%s%s\n",
+				d, w.Designs[d].Instances, p.JT, p.JStar, p.TwStar, p.R, p.MaxTdwMinus(),
+				flagStr(w.Designs[d].Unstable, " [unstable]"), flagStr(w.Designs[d].Slack, " [slack]"))
+		}
 	}
-	var ps []*switching.Profile
-	var archOfPs []int // parallel to ps: the archetype each clone stems from
-	dropped := 0
+	return archProfs
+}
+
+// instanceProfiles clones the archetype profiles across their fleet
+// instances, returning the instance profile list, the archetype index of
+// each entry, and the number of instances dropped with their archetype.
+func instanceProfiles(w *plants.SyntheticWorkload, archProfs []*switching.Profile) (ps []*switching.Profile, archOfPs []int, dropped int) {
 	for i, a := range w.Apps {
 		ap := archProfs[w.ArchetypeOf[i]]
 		if ap == nil {
@@ -419,27 +498,41 @@ func runSynthetic(n int, seed int64, budget int) {
 		ps = append(ps, ap.Clone(a.Name))
 		archOfPs = append(archOfPs, w.ArchetypeOf[i])
 	}
-	fmt.Printf("  profiled %d applications (%d dropped) in %.1fs\n", len(ps), dropped, time.Since(t0).Seconds())
+	return ps, archOfPs, dropped
+}
 
-	// Admission verifier: replay prefilter, then the exact checker on the
-	// symmetry quotient with the state budget.
-	var statesExplored, budgetRejects, replayRefuted, encodingRejects int
+// admissionStats counts what the synthetic admission verifier did.
+type admissionStats struct {
+	statesExplored  int
+	budgetRejects   int
+	replayRefuted   int
+	encodingRejects int
+}
+
+// syntheticAdmission builds the sweep's admission verifier: counterexample
+// replay prefilter, then the exact checker on the symmetry quotient with
+// the per-check state budget, routed through the -nodes/-connect cluster
+// when one is up. Budget and encoding busts reject conservatively (never
+// unsoundly) and are counted.
+func syntheticAdmission(budget int) (mapping.VerifyFunc, *admissionStats) {
+	stats := &admissionStats{}
 	vf := func(set []*switching.Profile) (bool, error) {
 		if verify.Refute(set, sched.PreemptEager) {
-			replayRefuted++
+			stats.replayRefuted++
 			return false, nil
 		}
 		res, err := verify.Slot(set, verify.Config{
-			NondetTies: true, SymmetryReduction: true, Workers: workers, MaxStates: budget})
-		statesExplored += res.States
+			NondetTies: true, SymmetryReduction: true, Workers: workers,
+			MaxStates: budget, Distributed: distRunner})
+		stats.statesExplored += res.States
 		if errors.Is(err, verify.ErrTooLarge) {
-			budgetRejects++
+			stats.budgetRejects++
 			return false, nil
 		}
 		if errors.Is(err, verify.ErrEncoding) {
 			// Candidate exceeds the packed encoding (today: 12 apps);
 			// reject conservatively rather than aborting the sweep.
-			encodingRejects++
+			stats.encodingRejects++
 			return false, nil
 		}
 		if err != nil {
@@ -447,9 +540,52 @@ func runSynthetic(n int, seed int64, budget int) {
 		}
 		return res.Schedulable, nil
 	}
+	return vf, stats
+}
+
+// syntheticCacheKey salts the sweep's admission cache: the budget makes
+// verdicts configuration-dependent (busted checks reject conservatively),
+// and a distributed run scales the aggregate budget with the cluster size,
+// so both participate in the key.
+func syntheticCacheKey(budget int) uint64 {
+	return mapping.VerifyConfigKey(verify.Config{
+		NondetTies: true, SymmetryReduction: true, MaxStates: budget,
+	}, uint64(distNodes))
+}
+
+// runSynthetic dimensions a seeded synthetic workload end-to-end: archetype
+// profiling (one switching analysis per design, cloned across fleet
+// instances), first-fit mapping with exact wide-state verification under
+// the symmetry quotient, and a DP-partitioner comparison on a tractable
+// sample. Admission checks are prefiltered by counterexample replay
+// (verify.Refute) and bounded by the -maxstates budget; a busted budget
+// rejects conservatively (never unsoundly) and is reported. With
+// -cachefile, admission verdicts persist across invocations and the run
+// reports its cache hit rate.
+func runSynthetic(n int, seed int64, budget int, cachefile string) {
+	t0 := time.Now()
+	w := plants.Synthetic(plants.SyntheticOptions{N: n, Seed: seed})
+	fmt.Printf("== Synthetic dimensioning sweep: %d applications, %d archetypes, seed %d ==\n",
+		len(w.Apps), len(w.Designs), seed)
+
+	archProfs := archetypeProfiles(w, 1, true)
+	ps, archOfPs, dropped := instanceProfiles(w, archProfs)
+	fmt.Printf("  profiled %d applications (%d dropped) in %.1fs\n", len(ps), dropped, time.Since(t0).Seconds())
+
+	vf, stats := syntheticAdmission(budget)
 	// The budget makes verdicts configuration-dependent, so the sweep keeps
-	// its own cache instead of sharing admissionCache.
-	cache := mapping.NewCache()
+	// its own config-salted cache instead of sharing admissionCache.
+	cache := mapping.NewCacheFor(syntheticCacheKey(budget))
+	if cachefile != "" {
+		loaded, err := cache.LoadFile(cachefile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: loading admission cache:", err)
+			os.Exit(1)
+		}
+		if loaded {
+			fmt.Printf("  admission cache: warm start with %d verdicts from %s\n", cache.Len(), cachefile)
+		}
+	}
 
 	t1 := time.Now()
 	ff, err := mapping.FirstFitCached(ps, vf, cache)
@@ -469,9 +605,9 @@ func runSynthetic(n int, seed int64, budget int) {
 	fmt.Printf("  first-fit: %d slots for %d applications (largest slot %d apps, %d slots with ≥8 apps) in %.1fs\n",
 		len(ff.Slots), len(ps), maxSlot, deep, time.Since(t1).Seconds())
 	fmt.Printf("  admission checks %d (%d served by cache), states explored %d\n",
-		ff.Verifications, ff.CacheHits, statesExplored)
+		ff.Verifications, ff.CacheHits, stats.statesExplored)
 	fmt.Printf("  rejects: %d by counterexample replay, %d by state budget (conservative), %d over the encoding cap\n",
-		replayRefuted, budgetRejects, encodingRejects)
+		stats.replayRefuted, stats.budgetRejects, stats.encodingRejects)
 	for si, names := range ff.SlotNames(ps) {
 		if len(names) >= 8 {
 			fmt.Printf("    slot S%d (%d apps): %v\n", si+1, len(names), names)
@@ -493,6 +629,84 @@ func runSynthetic(n int, seed int64, budget int) {
 		fmt.Printf("  DP sample (%d apps of the 2 tightest archetypes): first-fit %d slots, optimal %d slots [%d subset checks, %d cached] in %.1fs\n",
 			len(sample), len(ffS.Slots), len(dp.Slots), dp.Verifications, dp.CacheHits, time.Since(t2).Seconds())
 	}
+	hits, misses, _ := cache.Stats()
+	if lookups := hits + misses; lookups > 0 {
+		fmt.Printf("  admission cache: %d hits / %d lookups (%.0f%% hit rate)\n",
+			hits, lookups, 100*float64(hits)/float64(lookups))
+	}
+	if cachefile != "" {
+		if err := cache.SaveFile(cachefile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: saving admission cache:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  admission cache: %d verdicts saved to %s\n", cache.Len(), cachefile)
+	}
+	fmt.Printf("  total sweep time %.1fs\n\n", time.Since(t0).Seconds())
+}
+
+// runGranularitySweep re-dimensions the synthetic workload at every Tw
+// granularity in [lo, hi] (step apart), charting the paper's Sec. 3
+// trade-off at scale: coarser wait-time grids shrink the dwell tables
+// (fewer Tw rows to store on the ECU) but make every profile more
+// conservative, which costs TT slots.
+func runGranularitySweep(n int, seed int64, budget, lo, hi, step int) {
+	t0 := time.Now()
+	w := plants.Synthetic(plants.SyntheticOptions{N: n, Seed: seed})
+	fmt.Printf("== Tw-granularity coarsening sweep: %d applications, seed %d, granularity %d..%d step %d ==\n",
+		len(w.Apps), seed, lo, hi, step)
+
+	type point struct {
+		g, slots, rawWords, rleWords, checks int
+		secs                                 float64
+	}
+	var pts []point
+	for g := lo; g <= hi; g += step {
+		t1 := time.Now()
+		archProfs := archetypeProfiles(w, g, false)
+		ps, _, dropped := instanceProfiles(w, archProfs)
+		if len(ps) == 0 {
+			fmt.Printf("  granularity %d: every archetype dropped\n", g)
+			continue
+		}
+		vf, _ := syntheticAdmission(budget)
+		// The cache lives for this one first-fit call and is never
+		// persisted, so no config salt is needed — each granularity's
+		// profiles fingerprint differently anyway.
+		cache := mapping.NewCache()
+		ff, err := mapping.FirstFitCached(ps, vf, cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		raw, rle := 0, 0
+		for _, p := range ps {
+			raw += len(p.TdwMinus) + len(p.TdwPlus)
+			rle += switching.EncodeRLE(p.TdwMinus).Words() + switching.EncodeRLE(p.TdwPlus).Words()
+		}
+		pts = append(pts, point{g, len(ff.Slots), raw, rle, ff.Verifications, time.Since(t1).Seconds()})
+		fmt.Printf("  granularity %d: %d slots, %d table words (%d RLE) for %d apps (%d dropped), %d checks, %.1fs\n",
+			g, len(ff.Slots), raw, rle, len(ps), dropped, ff.Verifications, time.Since(t1).Seconds())
+	}
+	if len(pts) == 0 {
+		return
+	}
+	header := []string{"granularity", "slots", "table words", "RLE words", "admission checks", "time (s)"}
+	var rows [][]string
+	slotsY := make([]float64, len(pts))
+	wordsY := make([]float64, len(pts))
+	for i, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprint(p.g), fmt.Sprint(p.slots), fmt.Sprint(p.rawWords),
+			fmt.Sprint(p.rleWords), fmt.Sprint(p.checks), fmt.Sprintf("%.1f", p.secs),
+		})
+		slotsY[i] = float64(p.slots)
+		wordsY[i] = float64(p.rawWords)
+	}
+	fmt.Print(textplot.Table(header, rows))
+	fmt.Println("  slots needed vs granularity:")
+	fmt.Print(textplot.Lines([]textplot.Series{{Name: "slots", Y: slotsY}}, textplot.Options{Height: 10}))
+	fmt.Println("  dwell-table words vs granularity:")
+	fmt.Print(textplot.Lines([]textplot.Series{{Name: "table words", Y: wordsY}}, textplot.Options{Height: 10}))
 	fmt.Printf("  total sweep time %.1fs\n\n", time.Since(t0).Seconds())
 }
 

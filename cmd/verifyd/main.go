@@ -1,0 +1,46 @@
+// Command verifyd serves one worker node of the distributed verification
+// backend (internal/dverify). A coordinator — cmd/verifyslot or
+// cmd/experiments with -connect — dials a set of verifyd instances, ships
+// each a shard range of the packed state space, and drives the
+// level-synchronous BFS over them.
+//
+// Usage:
+//
+//	verifyd -listen 127.0.0.1:9471 [-quiet]
+//
+// The daemon serves one coordinator session at a time (a worker node
+// belongs to one cluster at a time) and keeps accepting new sessions until
+// killed, so repeated CLI invocations reuse the same worker fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"tightcps/internal/dverify"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9471", "address to serve the worker protocol on")
+	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifyd:", err)
+		os.Exit(1)
+	}
+	logger := log.New(os.Stderr, "verifyd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	logger.Printf("worker listening on %s", l.Addr())
+	if err := dverify.Serve(l, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "verifyd:", err)
+		os.Exit(1)
+	}
+}

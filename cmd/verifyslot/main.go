@@ -5,10 +5,16 @@
 // Usage:
 //
 //	verifyslot -apps C1,C5,C4,C3 [-bounded] [-ta] [-lazy] [-workers N]
+//	           [-maxstates N] [-nodes K | -connect host:port,host:port]
 //
-// The verdict is computed with the sharded parallel BFS; when a violation is
-// found, the counterexample schedule is reconstructed with a second,
-// sequential traced run (tracing needs deterministic parent pointers).
+// The verdict is computed with the sharded parallel BFS, or — with -nodes
+// or -connect — with the distributed backend of internal/dverify: -nodes K
+// runs K in-process loopback workers, -connect drives cmd/verifyd daemons
+// over TCP. In distributed runs -maxstates is a per-node budget, so a
+// cluster of K workers admits slots up to K times larger than one node.
+// When a violation is found, the counterexample schedule is reconstructed
+// with a second, local sequential traced run (tracing needs deterministic
+// in-process parent pointers).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"tightcps/internal/dverify"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
 	"tightcps/internal/ta"
@@ -30,9 +37,18 @@ func main() {
 	useTA := flag.Bool("ta", false, "check the faithful Fig. 5–7 timed-automata network instead of the packed verifier")
 	lazy := flag.Bool("lazy", false, "verify the lazy-preemption policy")
 	workers := flag.Int("workers", 0, "BFS worker pool size (0 = GOMAXPROCS, 1 = sequential; must be ≥ 0)")
+	maxStates := flag.Int("maxstates", 0, "visited-state budget, per node when distributed (0 = 200M)")
+	nodes := flag.Int("nodes", 0, "distribute over K in-process loopback workers (0 = local verification)")
+	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "verifyslot: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *useTA && (*nodes > 0 || *connect != "" || *maxStates != 0) {
+		// The TA network checker is local-only and unbudgeted; ignoring the
+		// flags silently would fake a distributed (or bounded) run.
+		fmt.Fprintln(os.Stderr, "verifyslot: -ta is incompatible with -nodes/-connect/-maxstates (the TA checker runs locally)")
 		os.Exit(2)
 	}
 
@@ -57,12 +73,22 @@ func main() {
 			ok, res.States, res.Depth, time.Since(t0).Seconds())
 		return
 	}
-	cfg := verify.Config{NondetTies: true, Workers: *workers}
+	cfg := verify.Config{NondetTies: true, Workers: *workers, MaxStates: *maxStates}
 	if *bounded {
 		cfg.MaxDisturbances = verify.BoundFor(profs)
 	}
 	if *lazy {
 		cfg.Policy = sched.PreemptLazy
+	}
+	ts, clusterDesc, err := dverify.Cluster(*nodes, *connect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifyslot:", err)
+		os.Exit(2)
+	}
+	if ts != nil {
+		defer dverify.Close(ts)
+		cfg.Distributed = dverify.Runner(ts)
+		fmt.Println(clusterDesc)
 	}
 	res, err := verify.Slot(profs, cfg)
 	if err != nil {
@@ -70,12 +96,16 @@ func main() {
 		os.Exit(1)
 	}
 	if !res.Schedulable {
-		// Re-run sequentially with tracing for the disturbance schedule.
-		cfg.Trace = true
-		res, err = verify.Slot(profs, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		// Re-run locally, sequentially, with tracing for the disturbance
+		// schedule. Under a distributed run this may exceed the single-node
+		// budget; the verdict above stands either way.
+		tcfg := cfg
+		tcfg.Trace = true
+		tcfg.Distributed = nil
+		if traced, err := verify.Slot(profs, tcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyslot: counterexample reconstruction failed: %v\n", err)
+		} else {
+			res = traced
 		}
 	}
 	fmt.Printf("slot %v: schedulable=%v\n", names, res.Schedulable)
@@ -83,16 +113,18 @@ func main() {
 		res.States, res.Transitions, res.Depth, res.Bounded, time.Since(t0).Seconds())
 	if !res.Schedulable {
 		fmt.Printf("  violator: %s\n", names[res.Violator])
-		fmt.Println("  adversarial disturbance schedule (sample: applications):")
-		for k, apps := range res.Counterexample {
-			if len(apps) == 0 {
-				continue
+		if res.Counterexample != nil {
+			fmt.Println("  adversarial disturbance schedule (sample: applications):")
+			for k, apps := range res.Counterexample {
+				if len(apps) == 0 {
+					continue
+				}
+				var ns []string
+				for _, a := range apps {
+					ns = append(ns, names[a])
+				}
+				fmt.Printf("    %3d: %s\n", k, strings.Join(ns, ", "))
 			}
-			var ns []string
-			for _, a := range apps {
-				ns = append(ns, names[a])
-			}
-			fmt.Printf("    %3d: %s\n", k, strings.Join(ns, ", "))
 		}
 	}
 }

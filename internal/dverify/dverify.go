@@ -1,0 +1,242 @@
+// Package dverify distributes the slot-sharing verification of
+// internal/verify across worker nodes: a coordinator partitions the packed
+// state space by hash — each node owns a contiguous range of the 64 hash
+// shards — and drives a level-synchronous BFS in which every node expands
+// its own frontier through the shared expansion core and routes successor
+// states to their owners in batches (hash-routed frontier exchange), with a
+// barrier and violation short-circuit at every level boundary.
+//
+// Both packed encodings flow through the same driver, so narrow and wide
+// slots verify with bit-identical semantics to the local searches: the
+// verdict always matches, exhaustively-searched (schedulable) runs report
+// the same state/transition/depth counts, and a violating run reports the
+// same minimal violator as the local parallel search (minimum violating
+// packed state of the first violating level).
+//
+// Communication goes through the Transport interface. Two implementations
+// exist: Loopback (in-process channel workers, for tests and single-machine
+// multi-worker runs) and the TCP/gob client returned by Dial, served by the
+// cmd/verifyd worker daemon. Config.MaxStates is a per-node budget in
+// distributed runs — it models per-node memory — so a cluster of k nodes
+// verifies slots up to k times larger than one node admits.
+package dverify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// defaultMaxStates mirrors the local verifier's per-run state cap; in the
+// distributed search it applies per node.
+const defaultMaxStates = 200_000_000
+
+// maxNodes is the cluster-size cap: nodes own contiguous ranges of the 64
+// hash shards, so more nodes than shards cannot all receive work.
+const maxNodes = 64
+
+// Transport is one coordinator↔worker link carrying the request/response
+// protocol of proto.go. Calls are strictly sequential per transport (the
+// coordinator never has two outstanding requests to one node). A failed
+// Call poisons the run — the protocol state of the cluster is undefined —
+// but a new Verify over the same transports recovers, because KindInit
+// resets every node.
+type Transport interface {
+	Call(*Request) (*Response, error)
+	Close() error
+}
+
+// Verify runs the distributed reachability analysis for the profiles over
+// the given worker nodes. The configuration is interpreted exactly like
+// verify.Slot's, except that Workers applies per node (unused — nodes
+// expand serially; parallelism comes from the cluster), MaxStates is a
+// per-node budget, and Trace is rejected.
+func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport) (verify.Result, error) {
+	if len(nodes) < 1 || len(nodes) > maxNodes {
+		return verify.Result{}, fmt.Errorf("dverify: %d nodes (want 1..%d)", len(nodes), maxNodes)
+	}
+	if cfg.Trace {
+		return verify.Result{}, errors.New("dverify: tracing is local-only; re-run the slot without Distributed for a counterexample")
+	}
+	// Validate profiles and config (encoding limits, symmetry/trace
+	// conflicts) before shipping the job anywhere.
+	cfg.Distributed = nil
+	if _, err := verify.New(profiles, cfg); err != nil {
+		return verify.Result{}, err
+	}
+
+	job := Job{
+		Profiles:          make([]switching.Profile, len(profiles)),
+		NumNodes:          len(nodes),
+		MaxDisturbances:   cfg.MaxDisturbances,
+		Policy:            cfg.Policy,
+		NondetTies:        cfg.NondetTies,
+		SymmetryReduction: cfg.SymmetryReduction,
+		MaxStates:         cfg.MaxStates,
+	}
+	for i, p := range profiles {
+		job.Profiles[i] = *p
+	}
+	if job.MaxStates <= 0 {
+		job.MaxStates = defaultMaxStates
+	}
+
+	res := verify.Result{Schedulable: true, Bounded: cfg.MaxDisturbances > 0}
+	resps, err := fanout(nodes, func(i int) *Request {
+		j := job
+		j.NodeID = i
+		return &Request{Kind: KindInit, Job: &j}
+	})
+	if err != nil {
+		return res, err
+	}
+	frontier := 0
+	for _, r := range resps {
+		res.States += r.Fresh
+		frontier += r.Next
+	}
+
+	stepReq := &Request{Kind: KindStep}
+	for depth := 0; frontier > 0; depth++ {
+		res.Depth = depth
+		stepResps, err := fanout(nodes, func(int) *Request { return stepReq })
+		if err != nil {
+			return res, err
+		}
+
+		// Violation short-circuit: the verdict is the minimum violating
+		// packed state across the partitions — the same tie-break the local
+		// parallel search applies, so Violator is deterministic and
+		// identical across cluster sizes. Like the local search, a recorded
+		// violation is preferred over ErrTooLarge when the budget trips in
+		// the same level; in that budget-edge case the tripped node stopped
+		// sweeping early, so Violator is sound but may not be the level
+		// minimum a larger budget would report.
+		viol := false
+		var violState verify.PackedState
+		tooLarge := false
+		for _, r := range stepResps {
+			res.Transitions += r.Transitions
+			res.States += r.Fresh
+			tooLarge = tooLarge || r.TooLarge
+			if r.Viol && (!viol || verify.LessState(r.ViolState, violState)) {
+				viol, violState = true, r.ViolState
+				res.Violator = r.ViolApp
+			}
+		}
+		if viol {
+			res.Schedulable = false
+			return res, nil
+		}
+		if tooLarge {
+			return res, verify.ErrTooLarge
+		}
+
+		// Hash-routed exchange: merge every node's batch for destination d
+		// in ascending source order and deliver it in one absorb.
+		absorbResps, err := fanout(nodes, func(d int) *Request {
+			var merged []byte
+			for _, r := range stepResps {
+				if d < len(r.Batches) {
+					merged = append(merged, r.Batches[d]...)
+				}
+			}
+			return &Request{Kind: KindAbsorb, Batch: merged}
+		})
+		if err != nil {
+			return res, err
+		}
+		frontier = 0
+		for _, r := range absorbResps {
+			res.States += r.Fresh
+			frontier += r.Next
+			tooLarge = tooLarge || r.TooLarge
+		}
+		if tooLarge {
+			return res, verify.ErrTooLarge
+		}
+	}
+	return res, nil
+}
+
+// Runner adapts a worker set to the verify.Config.Distributed hook. The
+// returned function serialises concurrent calls — the transports carry one
+// protocol session at a time.
+func Runner(nodes []Transport) func([]*switching.Profile, verify.Config) (verify.Result, error) {
+	var mu sync.Mutex
+	return func(profiles []*switching.Profile, cfg verify.Config) (verify.Result, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return Verify(profiles, cfg, nodes)
+	}
+}
+
+// Cluster materializes the -nodes/-connect CLI convention the verifying
+// commands share: nodes > 0 starts that many in-process loopback workers,
+// a non-empty connect dials the comma-separated verifyd addresses. Exactly
+// one may be set; with neither, Cluster returns a nil slice (local
+// verification). desc is a banner line describing the cluster. The caller
+// owns the transports (defer Close).
+func Cluster(nodes int, connect string) (ts []Transport, desc string, err error) {
+	switch {
+	case nodes < 0:
+		return nil, "", fmt.Errorf("-nodes must be ≥ 0, got %d", nodes)
+	case nodes > 0 && connect != "":
+		return nil, "", errors.New("-nodes and -connect are mutually exclusive (one cluster per run)")
+	case connect != "":
+		addrs := strings.Split(connect, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		ts, err := Dial(addrs, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		return ts, fmt.Sprintf("distributed verification: %d TCP workers (%s)", len(ts), strings.Join(addrs, ", ")), nil
+	case nodes > 0:
+		return Loopback(nodes), fmt.Sprintf("distributed verification: %d loopback workers", nodes), nil
+	}
+	return nil, "", nil
+}
+
+// Close closes every transport, returning the first error.
+func Close(nodes []Transport) error {
+	var first error
+	for _, t := range nodes {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// fanout issues one request per node concurrently and collects the
+// responses, turning transport failures and worker-side Err responses into
+// a single error naming the node. It always waits for every call, so a
+// partial failure never leaks an in-flight request into the next round.
+func fanout(nodes []Transport, req func(i int) *Request) ([]*Response, error) {
+	resps := make([]*Response, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	wg.Add(len(nodes))
+	for i, tr := range nodes {
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			resps[i], errs[i] = tr.Call(req(i))
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dverify: node %d: %w", i, err)
+		}
+		if resps[i].Err != "" {
+			return nil, fmt.Errorf("dverify: node %d: %s", i, resps[i].Err)
+		}
+	}
+	return resps, nil
+}

@@ -1,0 +1,55 @@
+package dverify
+
+import "errors"
+
+// Loopback returns transports to n in-process worker nodes, each served by
+// its own goroutine over unbuffered channels. It is the test and
+// single-machine form of the cluster: the protocol, partitioning and level
+// barriers are exactly those of the TCP transport, with channel handoff in
+// place of gob framing. Close the transports (dverify.Close) to stop the
+// worker goroutines.
+func Loopback(n int) []Transport {
+	ts := make([]Transport, n)
+	for i := range ts {
+		lt := &loopTransport{
+			req:  make(chan *Request),
+			resp: make(chan *Response),
+		}
+		go lt.serve()
+		ts[i] = lt
+	}
+	return ts
+}
+
+// loopTransport is one coordinator↔goroutine link. Call and Close must not
+// race each other (the coordinator is strictly sequential per transport).
+type loopTransport struct {
+	req    chan *Request
+	resp   chan *Response
+	closed bool
+}
+
+// serve is the worker goroutine: one handler per transport lifetime,
+// serving requests until Close shuts the request channel.
+func (lt *loopTransport) serve() {
+	var h handler
+	for req := range lt.req {
+		lt.resp <- h.handle(req)
+	}
+}
+
+func (lt *loopTransport) Call(req *Request) (*Response, error) {
+	if lt.closed {
+		return nil, errors.New("loopback transport is closed")
+	}
+	lt.req <- req
+	return <-lt.resp, nil
+}
+
+func (lt *loopTransport) Close() error {
+	if !lt.closed {
+		lt.closed = true
+		close(lt.req)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package dverify
+
+import (
+	"fmt"
+
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// owner maps a state hash to the node owning it: the 64 hash shards (top
+// six bits, the same selector as the local sharded sets) are divided into
+// contiguous ranges, one per node. Every state has exactly one owner, and
+// only the owner stores it — the partitioning invariant behind the
+// distributed visited set.
+func owner(h uint64, numNodes int) int {
+	return int(h>>58) * numNodes / 64
+}
+
+// node is one worker's share of a running search: the visited-set
+// partition, the current and next frontiers, and the per-destination batch
+// buffers of the hash-routed exchange.
+type node struct {
+	id, n    int
+	exp      *verify.Expander
+	budget   int
+	visited  *verify.StateSet
+	frontier []verify.PackedState
+	next     []verify.PackedState
+	out      [][]byte             // per-destination successor batches
+	scratch  []verify.PackedState // successor / decode buffer
+	tooLarge bool
+}
+
+// newNode builds a node for the job, seeding the initial state on its
+// owner. The returned Response reports the seed (Fresh/Next) so the
+// coordinator can start its level loop with consistent counts.
+func newNode(job *Job) (*node, *Response, error) {
+	if job.NumNodes < 1 || job.NodeID < 0 || job.NodeID >= job.NumNodes {
+		return nil, nil, fmt.Errorf("dverify: node %d of %d is not a valid placement", job.NodeID, job.NumNodes)
+	}
+	profs := make([]*switching.Profile, len(job.Profiles))
+	for i := range job.Profiles {
+		profs[i] = &job.Profiles[i]
+	}
+	exp, err := verify.NewExpander(profs, verify.Config{
+		MaxDisturbances:   job.MaxDisturbances,
+		Policy:            job.Policy,
+		NondetTies:        job.NondetTies,
+		SymmetryReduction: job.SymmetryReduction,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	budget := job.MaxStates
+	if budget <= 0 {
+		budget = defaultMaxStates
+	}
+	nd := &node{
+		id:      job.NodeID,
+		n:       job.NumNodes,
+		exp:     exp,
+		budget:  budget,
+		visited: exp.NewSet(1 << 12),
+		out:     make([][]byte, job.NumNodes),
+	}
+	resp := &Response{ViolApp: -1}
+	if init := exp.Initial(); owner(exp.Hash(init), nd.n) == nd.id {
+		nd.visited.Add(init)
+		nd.next = append(nd.next, init)
+		resp.Fresh, resp.Next = 1, 1
+	}
+	return nd, resp, nil
+}
+
+// step expands the node's frontier one level: self-owned successors are
+// deduplicated into the next frontier immediately, foreign ones are encoded
+// into per-destination batches for the coordinator to route. A deadline
+// miss short-circuits like the local parallel search — frontier states
+// greater than the node's minimum violating state are skipped, so the
+// reported ViolState is the exact minimum of this partition.
+func (nd *node) step() *Response {
+	nd.frontier, nd.next = nd.next, nd.frontier[:0]
+	for i := range nd.out {
+		nd.out[i] = nd.out[i][:0]
+	}
+	resp := &Response{ViolApp: -1}
+	for _, s := range nd.frontier {
+		if resp.Viol && verify.LessState(resp.ViolState, s) {
+			continue
+		}
+		succ, violApp := nd.exp.Successors(s, nd.scratch[:0])
+		nd.scratch = succ[:0]
+		if violApp >= 0 {
+			if !resp.Viol || verify.LessState(s, resp.ViolState) {
+				resp.Viol, resp.ViolState, resp.ViolApp = true, s, violApp
+			}
+			continue
+		}
+		resp.Transitions += len(succ)
+		for _, ns := range succ {
+			if dst := owner(nd.exp.Hash(ns), nd.n); dst != nd.id {
+				nd.out[dst] = nd.exp.AppendState(nd.out[dst], ns)
+			} else if nd.visited.Add(ns) {
+				if nd.visited.Len() > nd.budget {
+					nd.tooLarge = true
+					break
+				}
+				nd.next = append(nd.next, ns)
+				resp.Fresh++
+			}
+		}
+		if nd.tooLarge {
+			break
+		}
+	}
+	resp.Batches = nd.out
+	resp.Next = len(nd.next)
+	resp.TooLarge = nd.tooLarge
+	return resp
+}
+
+// absorb merges the routed successors owned by this node into its visited
+// partition; fresh states join the next-level frontier.
+func (nd *node) absorb(batch []byte) *Response {
+	resp := &Response{ViolApp: -1}
+	states, err := nd.exp.DecodeStates(batch, nd.scratch[:0])
+	nd.scratch = states[:0]
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	for _, s := range states {
+		if nd.tooLarge {
+			break
+		}
+		if nd.visited.Add(s) {
+			if nd.visited.Len() > nd.budget {
+				nd.tooLarge = true
+				break
+			}
+			nd.next = append(nd.next, s)
+			resp.Fresh++
+		}
+	}
+	resp.Next = len(nd.next)
+	resp.TooLarge = nd.tooLarge
+	return resp
+}
+
+// handler serves one coordinator session, holding the node across the
+// session's requests. Both transports — the loopback goroutine and a
+// verifyd TCP session — dispatch through it, so worker behaviour is
+// identical on either.
+type handler struct {
+	nd *node
+}
+
+// handle answers one request. Errors travel in Response.Err rather than
+// tearing the session down: the coordinator turns them into Go errors.
+func (h *handler) handle(req *Request) *Response {
+	switch req.Kind {
+	case KindInit:
+		if req.Job == nil {
+			return &Response{Err: "init without a job"}
+		}
+		nd, resp, err := newNode(req.Job)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		h.nd = nd
+		return resp
+	case KindStep:
+		if h.nd == nil {
+			return &Response{Err: "step before init"}
+		}
+		return h.nd.step()
+	case KindAbsorb:
+		if h.nd == nil {
+			return &Response{Err: "absorb before init"}
+		}
+		return h.nd.absorb(req.Batch)
+	default:
+		return &Response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
+	}
+}

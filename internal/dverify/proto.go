@@ -1,0 +1,91 @@
+package dverify
+
+import (
+	"tightcps/internal/sched"
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// Wire protocol of the distributed search: the coordinator drives every
+// worker node through a strict Init → (Step → Absorb)* request/response
+// session. All types are plain data so the TCP transport can gob-encode
+// them without registration; the loopback transport passes them by pointer.
+
+// Kind discriminates coordinator requests.
+type Kind uint8
+
+const (
+	// KindInit ships the job to a node, resetting any previous one.
+	KindInit Kind = iota + 1
+	// KindStep expands the node's current frontier one BFS level, returning
+	// hash-routed successor batches for the other nodes.
+	KindStep
+	// KindAbsorb delivers the routed successors owned by this node; fresh
+	// ones enter its next-level frontier.
+	KindAbsorb
+)
+
+// Job describes one verification run from a single worker node's
+// perspective. The verification fields mirror the verdict-relevant subset
+// of verify.Config; Workers, Trace and Distributed are coordinator-side
+// concerns and never cross the wire.
+type Job struct {
+	// Profiles is the application set under verification, by value so the
+	// gob stream is self-contained.
+	Profiles []switching.Profile
+	// NumNodes and NodeID place this node in the cluster: it owns the
+	// contiguous shard range [NodeID·64/NumNodes, (NodeID+1)·64/NumNodes).
+	NumNodes int
+	NodeID   int
+
+	MaxDisturbances   int
+	Policy            sched.PreemptionPolicy
+	NondetTies        bool
+	SymmetryReduction bool
+	// MaxStates is the per-node visited budget (per-node memory model):
+	// the aggregate capacity of a run is NumNodes × MaxStates.
+	MaxStates int
+}
+
+// Request is one coordinator→node message.
+type Request struct {
+	Kind Kind
+	// Job accompanies KindInit.
+	Job *Job
+	// Batch accompanies KindAbsorb: the concatenated wire encodings of
+	// every successor routed to this node during the current level, merged
+	// in ascending source-node order.
+	Batch []byte
+}
+
+// Response is one node→coordinator message. Err is the worker-side failure
+// channel; when non-empty every other field is meaningless.
+type Response struct {
+	Err string
+
+	// Batches (KindStep) holds, per destination node, the wire-encoded
+	// successors this node generated but does not own. The node's own
+	// index is always empty — self-owned successors are absorbed locally
+	// during the step.
+	Batches [][]byte
+	// Transitions counts the successors generated this level (pre-dedup),
+	// mirroring the local searches.
+	Transitions int
+	// Fresh counts states newly added to this node's visited set by this
+	// call: self-owned successors for KindStep, routed ones for KindAbsorb,
+	// and the initial state for KindInit when this node owns it.
+	Fresh int
+	// Next is the size of the node's next-level frontier after this call.
+	Next int
+	// TooLarge reports that the per-node visited budget was exhausted; the
+	// node stopped expanding or absorbing mid-call.
+	TooLarge bool
+
+	// Viol flags a deadline miss found while expanding this level;
+	// ViolState is the minimum violating frontier state of this node's
+	// partition (the cross-node tie-break key) and ViolApp the application
+	// that missed.
+	Viol      bool
+	ViolState verify.PackedState
+	ViolApp   int
+}

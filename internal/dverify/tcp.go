@@ -1,0 +1,106 @@
+package dverify
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// TCP/gob transport: the coordinator dials one long-lived connection per
+// worker daemon (cmd/verifyd) and streams the Request/Response protocol
+// over it. A worker disconnect surfaces as a Call error — io.EOF or a
+// connection reset — which aborts the run cleanly at the next level
+// boundary rather than hanging the barrier.
+
+// Dial connects to the worker daemons at addrs (host:port each), returning
+// one transport per address in order. On any failure the already-opened
+// connections are closed.
+func Dial(addrs []string, timeout time.Duration) ([]Transport, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ts := make([]Transport, 0, len(addrs))
+	for _, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			Close(ts)
+			return nil, fmt.Errorf("dverify: dialing worker %s: %w", addr, err)
+		}
+		ts = append(ts, &tcpTransport{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+	}
+	return ts, nil
+}
+
+type tcpTransport struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (t *tcpTransport) Call(req *Request) (*Response, error) {
+	if err := t.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("sending %v to %s: %w", req.Kind, t.conn.RemoteAddr(), err)
+	}
+	var resp Response
+	if err := t.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("receiving from %s: %w", t.conn.RemoteAddr(), err)
+	}
+	return &resp, nil
+}
+
+func (t *tcpTransport) Close() error { return t.conn.Close() }
+
+// Serve runs a worker daemon on l: coordinator sessions are accepted one at
+// a time (a worker node belongs to one cluster at a time), each session a
+// gob request/response stream that ends when the coordinator disconnects.
+// logf, when non-nil, receives one line per session and per protocol error.
+// Serve returns only when the listener fails (e.g. it was closed).
+func Serve(l net.Listener, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		// A coordinator that vanishes without FIN (partition, suspend) must
+		// not wedge the worker forever: keepalive probes turn the dead link
+		// into a read error, returning the daemon to Accept.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(30 * time.Second)
+		}
+		logf("session from %s", conn.RemoteAddr())
+		serveConn(conn, logf)
+	}
+}
+
+// serveConn handles one coordinator session.
+func serveConn(conn net.Conn, logf func(format string, args ...any)) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var h handler
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				logf("session %s: decode: %v", conn.RemoteAddr(), err)
+			} else {
+				logf("session %s closed", conn.RemoteAddr())
+			}
+			return
+		}
+		if err := enc.Encode(h.handle(&req)); err != nil {
+			logf("session %s: encode: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}

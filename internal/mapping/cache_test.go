@@ -72,9 +72,9 @@ func TestCacheHitMissAccounting(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("verifier ran %d times, want 1", calls)
 	}
-	hits, misses := c.Stats()
-	if hits != 3 || misses != 1 || c.Len() != 1 {
-		t.Fatalf("hits=%d misses=%d len=%d, want 3/1/1", hits, misses, c.Len())
+	hits, misses, coalesced := c.Stats()
+	if hits != 3 || misses != 1 || coalesced != 0 || c.Len() != 1 {
+		t.Fatalf("hits=%d misses=%d coalesced=%d len=%d, want 3/1/0/1", hits, misses, coalesced, c.Len())
 	}
 }
 

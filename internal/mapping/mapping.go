@@ -90,10 +90,10 @@ func FirstFitCached(profiles []*switching.Profile, vf VerifyFunc, cache *Cache) 
 	res := &Result{}
 	var h0, m0 int
 	if cache != nil {
-		h0, m0 = cache.Stats()
+		h0, m0, _ = cache.Stats()
 		vf = cache.Wrap(vf)
 		defer func() {
-			h1, m1 := cache.Stats()
+			h1, m1, _ := cache.Stats()
 			res.CacheHits, res.CacheMisses = h1-h0, m1-m0
 		}()
 	}
@@ -141,7 +141,7 @@ func OptimalCached(profiles []*switching.Profile, vf VerifyFunc, cache *Cache) (
 	}
 	var h0, m0 int
 	if cache != nil {
-		h0, m0 = cache.Stats()
+		h0, m0, _ = cache.Stats()
 		vf = cache.Wrap(vf)
 	}
 	n := len(profiles)
@@ -154,7 +154,7 @@ func OptimalCached(profiles []*switching.Profile, vf VerifyFunc, cache *Cache) (
 	res := &Result{}
 	if cache != nil {
 		defer func() {
-			h1, m1 := cache.Stats()
+			h1, m1, _ := cache.Stats()
 			res.CacheHits, res.CacheMisses = h1-h0, m1-m0
 		}()
 	}

@@ -1,0 +1,175 @@
+package verify
+
+// The expansion-core seam: external search drivers — today the distributed
+// backend of internal/dverify — need to expand states, hash them for
+// partitioning, order them for the minimum-violator tie-break, and move
+// frontiers across process boundaries, all without re-implementing the
+// per-sample semantics. Expander exposes exactly that surface over a single
+// encoding-independent state type, so the narrow one-word and wide
+// multi-word encodings flow through one driver loop.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tightcps/internal/switching"
+)
+
+// PackedState is the encoding-independent packed form of one composed
+// state: narrow (one-word) states occupy word 0 with words 1..3 zero, wide
+// states are the multi-word encoding verbatim. Neither encoding produces
+// the all-zero value (an idle slot stores a nonzero occupant sentinel), so
+// the zero PackedState remains the empty-slot sentinel of the hash sets.
+type PackedState [wideWords]uint64
+
+// Expander exposes a Verifier's expansion core to external search drivers.
+// Its methods are read-only over the underlying Verifier and safe for
+// concurrent use, except where a caller-owned buffer is passed in.
+type Expander struct {
+	v *Verifier
+}
+
+// Expander returns the verifier's expansion core.
+func (v *Verifier) Expander() *Expander { return &Expander{v: v} }
+
+// NewExpander builds the expansion core for the profiles directly (the
+// worker-node entry point: nodes never call Run).
+func NewExpander(profiles []*switching.Profile, cfg Config) (*Expander, error) {
+	v, err := New(profiles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return v.Expander(), nil
+}
+
+// Wide reports whether the composed state uses the multi-word encoding.
+func (e *Expander) Wide() bool { return e.v.wide }
+
+// StateWords is the number of significant words per state: 1 on the narrow
+// fast path, the full word count on the wide path. It sizes the wire
+// encoding of AppendState/DecodeStates.
+func (e *Expander) StateWords() int {
+	if e.v.wide {
+		return wideWords
+	}
+	return 1
+}
+
+// Initial returns the all-Steady, slot-idle state.
+func (e *Expander) Initial() PackedState {
+	if e.v.wide {
+		return PackedState(e.v.initialWide())
+	}
+	return PackedState{e.v.initial()}
+}
+
+// Successors appends s's successors to out and returns the extended slice
+// together with the index of the application whose deadline the expansion
+// violated, or −1 when every disturbance choice stays safe. On a violation
+// the successor list is truncated at the point of detection and must be
+// discarded, exactly like the internal search paths do.
+func (e *Expander) Successors(s PackedState, out []PackedState) ([]PackedState, int) {
+	var base cstate
+	var viol *violation
+	if e.v.wide {
+		e.v.unpackWide(wstate(s), &base)
+		viol = e.v.expand(&base, func(c *cstate, _ uint32) {
+			out = append(out, PackedState(e.v.packWide(c)))
+		})
+	} else {
+		e.v.unpack(s[0], &base)
+		viol = e.v.expand(&base, func(c *cstate, _ uint32) {
+			out = append(out, PackedState{e.v.pack(c)})
+		})
+	}
+	if viol != nil {
+		return out, viol.app
+	}
+	return out, -1
+}
+
+// Hash mixes a state for shard selection and set probing. Narrow states use
+// the one-word splitmix finalizer (the same function behind the local
+// sharded set), wide states the chained word hash. Every driver of one run
+// must partition by the same hash, which this method guarantees: it depends
+// only on the profiles and config the Expander was built from.
+func (e *Expander) Hash(s PackedState) uint64 {
+	if e.v.wide {
+		return hashW(wstate(s))
+	}
+	return hashU64(s[0])
+}
+
+// LessState orders states lexicographically (word 0 most significant, the
+// lessW order). For narrow states — words 1..3 zero — this coincides with
+// the raw uint64 order of the one-word encoding, so the minimum-violator
+// tie-break of a distributed run matches the local parallel search on
+// either encoding.
+func LessState(a, b PackedState) bool {
+	return lessW(wstate(a), wstate(b))
+}
+
+// AppendState appends the wire encoding of s to dst: StateWords() words,
+// little-endian. Batches are built by repeated appends and decoded in one
+// call by DecodeStates.
+func (e *Expander) AppendState(dst []byte, s PackedState) []byte {
+	w := e.StateWords()
+	for k := 0; k < w; k++ {
+		dst = binary.LittleEndian.AppendUint64(dst, s[k])
+	}
+	return dst
+}
+
+// DecodeStates appends every state encoded in b (a batch built with
+// AppendState under the same profiles and config) to out.
+func (e *Expander) DecodeStates(b []byte, out []PackedState) ([]PackedState, error) {
+	w := e.StateWords()
+	stride := 8 * w
+	if len(b)%stride != 0 {
+		return out, fmt.Errorf("verify: frontier batch of %d bytes is not a multiple of the %d-byte state stride", len(b), stride)
+	}
+	for len(b) > 0 {
+		var s PackedState
+		for k := 0; k < w; k++ {
+			s[k] = binary.LittleEndian.Uint64(b[8*k:])
+		}
+		out = append(out, s)
+		b = b[stride:]
+	}
+	return out, nil
+}
+
+// NewSet returns an empty visited set sized for the expander's encoding:
+// narrow states are stored as bare words (8 bytes each), wide states as
+// full multi-word keys. Not safe for concurrent use — each search driver
+// owns its partition.
+func (e *Expander) NewSet(capacity int) *StateSet {
+	if e.v.wide {
+		return &StateSet{wide: newWideSet(capacity)}
+	}
+	return &StateSet{narrow: newU64Set(capacity)}
+}
+
+// StateSet is an open-addressing set of PackedStates backing one search
+// driver's visited partition. Exactly one of the two underlying sets is
+// non-nil, matching the encoding of the Expander that created it.
+type StateSet struct {
+	narrow *u64Set
+	wide   *wideSet
+}
+
+// Add inserts k and reports whether it was absent.
+func (s *StateSet) Add(k PackedState) bool {
+	if s.wide != nil {
+		return s.wide.add(wstate(k))
+	}
+	return s.narrow.add(k[0])
+}
+
+// Len returns the number of stored states.
+func (s *StateSet) Len() int {
+	if s.wide != nil {
+		return s.wide.len()
+	}
+	return s.narrow.len()
+}

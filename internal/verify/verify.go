@@ -103,6 +103,15 @@ type Config struct {
 	// the quotient (the violator index identifies the app's equivalence
 	// class). Incompatible with Trace.
 	SymmetryReduction bool
+	// Distributed, when non-nil, hands the whole reachability run to an
+	// external backend (internal/dverify.Runner): Run ships the profiles
+	// and this Config — with Distributed cleared — to the hook instead of
+	// searching in-process. In distributed runs MaxStates is a per-node
+	// visited budget (it models per-node memory), so the aggregate capacity
+	// grows with the cluster size. Incompatible with Trace: counterexample
+	// reconstruction needs in-process parent pointers, so callers re-run a
+	// violating slot locally to obtain the schedule.
+	Distributed func(profiles []*switching.Profile, cfg Config) (Result, error)
 }
 
 // Result reports a verification outcome.
@@ -190,6 +199,9 @@ func New(profiles []*switching.Profile, cfg Config) (*Verifier, error) {
 			return nil, errors.New("verify: SymmetryReduction is incompatible with Trace (lane identities are quotiented away)")
 		}
 		v.buildSymmetry()
+	}
+	if cfg.Distributed != nil && cfg.Trace {
+		return nil, errors.New("verify: Distributed is incompatible with Trace (re-run the slot locally for a counterexample)")
 	}
 	return v, nil
 }
@@ -674,6 +686,11 @@ func (v *Verifier) missCheck(c *cstate) *violation {
 // requested). Application sets that do not fit the one-word encoding run on
 // the multi-word wide path with identical semantics.
 func (v *Verifier) Run() (Result, error) {
+	if v.cfg.Distributed != nil {
+		cfg := v.cfg
+		cfg.Distributed = nil
+		return v.cfg.Distributed(v.profs, cfg)
+	}
 	workers := v.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
