@@ -343,6 +343,16 @@ func benchVerifyS1(b *testing.B, workers int) {
 // sequential BFS.
 func BenchmarkVerifyFullWorkers1(b *testing.B) { benchVerifyS1(b, 1) }
 
+// BenchmarkVerifyS1 is the canonical hot-path number — the sequential S1
+// verification with allocation reporting. cmd/bench runs the identical
+// workload into BENCH_verify.json; the PR-4 zero-allocation expansion core
+// is gated on this benchmark's B/op and allocs/op staying ≥ 5× below the
+// recorded PR-3 baseline (202 MB, 4.89M allocs per verification).
+func BenchmarkVerifyS1(b *testing.B) {
+	b.ReportAllocs()
+	benchVerifyS1(b, 1)
+}
+
 // BenchmarkVerifyFullWorkersMax runs the sharded parallel BFS at full
 // width on the same state space.
 func BenchmarkVerifyFullWorkersMax(b *testing.B) { benchVerifyS1(b, runtime.GOMAXPROCS(0)) }

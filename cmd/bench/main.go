@@ -1,0 +1,194 @@
+// Command bench regenerates BENCH_verify.json, the repository's performance
+// trajectory for the verification hot path. It measures, via
+// testing.Benchmark, the three workloads the dimensioning engine's capacity
+// is quoted in:
+//
+//   - VerifyS1: the paper's hardest slot (C1+C5+C4+C3, 1.44M states) on the
+//     sequential narrow-encoding search — the canonical states/second and
+//     allocation number (the same workload as BenchmarkVerifyS1 in
+//     bench_test.go);
+//   - VerifyWideFleet9: a nine-instance fleet on the multi-word encoding
+//     under the symmetry quotient;
+//   - VerifyS1Loopback2: S1 distributed over two in-process loopback
+//     workers, which additionally reports the frontier-exchange wire volume
+//     (raw vs shipped bytes, sender-filtered states).
+//
+// The emitted JSON carries the measured numbers alongside the recorded
+// pre-PR-4 baseline, so CI and later PRs can assert the trajectory (the
+// PR-4 acceptance gate: ≥ 5× fewer B/op and allocs/op on VerifyS1, ≥ 40%
+// fewer bytes routed on the 2-node run).
+//
+// Usage:
+//
+//	bench [-o BENCH_verify.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"tightcps/internal/dverify"
+	"tightcps/internal/plants"
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// benchResult is one workload's measurement.
+type benchResult struct {
+	Name         string  `json:"name"`
+	States       int     `json:"states"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	BPerOp       int64   `json:"b_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// wireResult is the 2-node frontier-exchange volume of one S1 run.
+type wireResult struct {
+	RoutedStates   int     `json:"routed_states"`
+	FilteredStates int     `json:"filtered_states"`
+	RawBytes       int     `json:"raw_bytes"`
+	WireBytes      int     `json:"wire_bytes"`
+	SavedFraction  float64 `json:"saved_fraction"`
+}
+
+// report is the BENCH_verify.json schema.
+type report struct {
+	Generated string `json:"generated"`
+	// Baseline is the pre-PR-4 measurement of VerifyS1 (the allocating
+	// expansion core), recorded once so later runs always compare against
+	// the same anchor. The pre-PR wire volume is RawBytes by construction
+	// (the fixed-width format shipped every routed state).
+	Baseline  benchResult   `json:"baseline_verify_s1_pr3"`
+	Current   []benchResult `json:"current"`
+	Wire      wireResult    `json:"wire_2node_s1"`
+	BRatio    float64       `json:"b_per_op_improvement"`
+	AllocsRat float64       `json:"allocs_per_op_improvement"`
+}
+
+// baselineS1 is the pre-PR-4 VerifyS1 measurement (PR-3 tree, same host
+// class as CI: go test -bench VerifyFullWorkers1 -benchmem).
+var baselineS1 = benchResult{
+	Name:         "VerifyS1",
+	States:       1440712,
+	NsPerOp:      390238054,
+	StatesPerSec: 1440712 / 0.390238054,
+	BPerOp:       202052528,
+	AllocsPerOp:  4888249,
+}
+
+// fleetProfiles builds n identical synthetic profiles (distinct names) with
+// constant dwell windows — the fleet workload of the wide encoding,
+// mirroring bench_test.go.
+func fleetProfiles(n, twStar, dm, dp, r int) []*switching.Profile {
+	out := make([]*switching.Profile, n)
+	for i := range out {
+		k := twStar + 1
+		minT, plusT := make([]int, k), make([]int, k)
+		for j := range minT {
+			minT[j], plusT[j] = dm, dp
+		}
+		out[i] = &switching.Profile{
+			Name: fmt.Sprintf("F%d", i), TwStar: twStar, TdwMinus: minT, TdwPlus: plusT,
+			R: r, Granularity: 1, JStar: twStar + dp,
+			JAtMin: make([]int, k), JBest: make([]int, k),
+		}
+	}
+	return out
+}
+
+// measure runs one verification workload under testing.Benchmark and
+// packages the result.
+func measure(name string, states *int, run func() (verify.Result, error)) benchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Schedulable {
+				b.Fatalf("%s: workload must verify", name)
+			}
+			*states = res.States
+		}
+	})
+	ns := r.NsPerOp()
+	return benchResult{
+		Name:         name,
+		States:       *states,
+		NsPerOp:      ns,
+		StatesPerSec: float64(*states) / (float64(ns) / 1e9),
+		BPerOp:       r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_verify.json", "path to write the benchmark report to")
+	flag.Parse()
+
+	s1, err := plants.ProfileList("C1", "C5", "C4", "C3")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fleet9 := fleetProfiles(9, 8, 1, 2, 9)
+
+	var rep report
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Baseline = baselineS1
+
+	var states int
+	fmt.Fprintln(os.Stderr, "bench: VerifyS1 (narrow, sequential)...")
+	rep.Current = append(rep.Current, measure("VerifyS1", &states, func() (verify.Result, error) {
+		return verify.Slot(s1, verify.Config{NondetTies: true, Workers: 1})
+	}))
+	fmt.Fprintln(os.Stderr, "bench: VerifyWideFleet9 (wide, symmetry quotient)...")
+	rep.Current = append(rep.Current, measure("VerifyWideFleet9", &states, func() (verify.Result, error) {
+		return verify.Slot(fleet9, verify.Config{NondetTies: true, SymmetryReduction: true, Workers: 1})
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: VerifyS1Loopback2 (2-node distributed)...")
+	ts := dverify.Loopback(2)
+	defer dverify.Close(ts)
+	runner := dverify.Runner(ts)
+	var wire verify.WireStats
+	rep.Current = append(rep.Current, measure("VerifyS1Loopback2", &states, func() (verify.Result, error) {
+		res, err := verify.Slot(s1, verify.Config{NondetTies: true, Distributed: runner})
+		wire = res.Wire
+		return res, err
+	}))
+	rep.Wire = wireResult{
+		RoutedStates:   wire.RoutedStates,
+		FilteredStates: wire.FilteredStates,
+		RawBytes:       wire.RawBytes,
+		WireBytes:      wire.WireBytes,
+		SavedFraction:  1 - float64(wire.WireBytes)/float64(wire.RawBytes),
+	}
+	cur := rep.Current[0]
+	rep.BRatio = float64(rep.Baseline.BPerOp) / float64(cur.BPerOp)
+	rep.AllocsRat = float64(rep.Baseline.AllocsPerOp) / float64(cur.AllocsPerOp)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, c := range rep.Current {
+		fmt.Printf("  %-18s %8.0f states/s  %12d B/op  %9d allocs/op\n",
+			c.Name, c.StatesPerSec, c.BPerOp, c.AllocsPerOp)
+	}
+	fmt.Printf("  vs baseline: B/op ×%.1f, allocs/op ×%.0f; 2-node wire %.0f%% below raw\n",
+		rep.BRatio, rep.AllocsRat, 100*rep.Wire.SavedFraction)
+}

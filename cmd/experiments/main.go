@@ -507,6 +507,7 @@ type admissionStats struct {
 	budgetRejects   int
 	replayRefuted   int
 	encodingRejects int
+	wire            verify.WireStats // distributed runs only
 }
 
 // syntheticAdmission builds the sweep's admission verifier: counterexample
@@ -525,6 +526,7 @@ func syntheticAdmission(budget int) (mapping.VerifyFunc, *admissionStats) {
 			NondetTies: true, SymmetryReduction: true, Workers: workers,
 			MaxStates: budget, Distributed: distRunner})
 		stats.statesExplored += res.States
+		stats.wire.Add(res.Wire)
 		if errors.Is(err, verify.ErrTooLarge) {
 			stats.budgetRejects++
 			return false, nil
@@ -608,6 +610,9 @@ func runSynthetic(n int, seed int64, budget int, cachefile string) {
 		ff.Verifications, ff.CacheHits, stats.statesExplored)
 	fmt.Printf("  rejects: %d by counterexample replay, %d by state budget (conservative), %d over the encoding cap\n",
 		stats.replayRefuted, stats.budgetRejects, stats.encodingRejects)
+	if stats.wire.RawBytes > 0 {
+		fmt.Printf("  %s\n", stats.wire.Report())
+	}
 	for si, names := range ff.SlotNames(ps) {
 		if len(names) >= 8 {
 			fmt.Printf("    slot S%d (%d apps): %v\n", si+1, len(names), names)

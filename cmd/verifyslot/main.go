@@ -6,6 +6,7 @@
 //
 //	verifyslot -apps C1,C5,C4,C3 [-bounded] [-ta] [-lazy] [-workers N]
 //	           [-maxstates N] [-nodes K | -connect host:port,host:port]
+//	           [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The verdict is computed with the sharded parallel BFS, or — with -nodes
 // or -connect — with the distributed backend of internal/dverify: -nodes K
@@ -15,12 +16,18 @@
 // When a violation is found, the counterexample schedule is reconstructed
 // with a second, local sequential traced run (tracing needs deterministic
 // in-process parent pointers).
+//
+// -cpuprofile and -memprofile write pprof profiles of the verification —
+// the expansion core is the product's hot path, so regressions are
+// diagnosed here rather than by instrumenting the library.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,7 +38,15 @@ import (
 	"tightcps/internal/verify"
 )
 
+// main parses flags and delegates to run so deferred cleanups — profile
+// writers, cluster teardown — fire on error exits too (os.Exit skips
+// defers, which would truncate a CPU profile exactly when diagnosing a
+// failing run).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	appsFlag := flag.String("apps", "C1,C5,C4,C3", "comma-separated applications")
 	bounded := flag.Bool("bounded", false, "use the bounded-disturbance acceleration")
 	useTA := flag.Bool("ta", false, "check the faithful Fig. 5–7 timed-automata network instead of the packed verifier")
@@ -40,16 +55,18 @@ func main() {
 	maxStates := flag.Int("maxstates", 0, "visited-state budget, per node when distributed (0 = 200M)")
 	nodes := flag.Int("nodes", 0, "distribute over K in-process loopback workers (0 = local verification)")
 	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the verification to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the verification to this file")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "verifyslot: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *workers)
-		os.Exit(2)
+		return 2
 	}
 	if *useTA && (*nodes > 0 || *connect != "" || *maxStates != 0) {
 		// The TA network checker is local-only and unbudgeted; ignoring the
 		// flags silently would fake a distributed (or bounded) run.
 		fmt.Fprintln(os.Stderr, "verifyslot: -ta is incompatible with -nodes/-connect/-maxstates (the TA checker runs locally)")
-		os.Exit(2)
+		return 2
 	}
 
 	names := strings.Split(*appsFlag, ",")
@@ -59,7 +76,37 @@ func main() {
 	profs, err := plants.ProfileList(names...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verifyslot: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "verifyslot: -cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verifyslot: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "verifyslot: -memprofile:", err)
+			}
+		}()
 	}
 
 	t0 := time.Now()
@@ -67,11 +114,11 @@ func main() {
 		res, ok, err := verify.CheckNetwork(profs, ta.CheckOptions{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("TA network: schedulable=%v states=%d depth=%d (%.2fs)\n",
 			ok, res.States, res.Depth, time.Since(t0).Seconds())
-		return
+		return 0
 	}
 	cfg := verify.Config{NondetTies: true, Workers: *workers, MaxStates: *maxStates}
 	if *bounded {
@@ -83,7 +130,7 @@ func main() {
 	ts, clusterDesc, err := dverify.Cluster(*nodes, *connect)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyslot:", err)
-		os.Exit(2)
+		return 2
 	}
 	if ts != nil {
 		defer dverify.Close(ts)
@@ -93,8 +140,9 @@ func main() {
 	res, err := verify.Slot(profs, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	wire := res.Wire // the traced re-run below is local and would clear it
 	if !res.Schedulable {
 		// Re-run locally, sequentially, with tracing for the disturbance
 		// schedule. Under a distributed run this may exceed the single-node
@@ -111,6 +159,9 @@ func main() {
 	fmt.Printf("slot %v: schedulable=%v\n", names, res.Schedulable)
 	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v (%.2fs)\n",
 		res.States, res.Transitions, res.Depth, res.Bounded, time.Since(t0).Seconds())
+	if wire.RawBytes > 0 {
+		fmt.Printf("  %s\n", wire.Report())
+	}
 	if !res.Schedulable {
 		fmt.Printf("  violator: %s\n", names[res.Violator])
 		if res.Counterexample != nil {
@@ -127,4 +178,5 @@ func main() {
 			}
 		}
 	}
+	return 0
 }

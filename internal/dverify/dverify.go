@@ -6,6 +6,13 @@
 // states to their owners in batches (hash-routed frontier exchange), with a
 // barrier and violation short-circuit at every level boundary.
 //
+// The exchange is bandwidth-engineered: every node suppresses states it
+// provably already routed to a destination (a fixed-size per-destination
+// recent-state filter — misses are safe, owners dedup on absorb) and
+// encodes each batch with a versioned codec (sorted varint-delta, DEFLATE
+// when it helps, fixed-width fallback; see proto.go). Wire-volume counters
+// flow back through Response into verify.Result.Wire.
+//
 // Both packed encodings flow through the same driver, so narrow and wide
 // slots verify with bit-identical semantics to the local searches: the
 // verdict always matches, exhaustively-searched (schedulable) runs report
@@ -70,6 +77,7 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 	}
 
 	job := Job{
+		Proto:             protoVersion,
 		Profiles:          make([]switching.Profile, len(profiles)),
 		NumNodes:          len(nodes),
 		MaxDisturbances:   cfg.MaxDisturbances,
@@ -95,7 +103,13 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		return res, err
 	}
 	frontier := 0
-	for _, r := range resps {
+	for i, r := range resps {
+		if r.Proto != protoVersion {
+			// A stale verifyd would otherwise drop renamed gob fields
+			// silently and corrupt the search; refuse to start instead.
+			return res, fmt.Errorf("dverify: node %d speaks protocol %d, coordinator %d (restart verifyd with the current build)",
+				i, r.Proto, protoVersion)
+		}
 		res.States += r.Fresh
 		frontier += r.Next
 	}
@@ -122,6 +136,12 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		for _, r := range stepResps {
 			res.Transitions += r.Transitions
 			res.States += r.Fresh
+			res.Wire.Add(verify.WireStats{
+				RoutedStates:   r.Routed,
+				FilteredStates: r.Filtered,
+				RawBytes:       r.RawBytes,
+				WireBytes:      r.WireBytes,
+			})
 			tooLarge = tooLarge || r.TooLarge
 			if r.Viol && (!viol || verify.LessState(r.ViolState, violState)) {
 				viol, violState = true, r.ViolState
@@ -136,16 +156,18 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 			return res, verify.ErrTooLarge
 		}
 
-		// Hash-routed exchange: merge every node's batch for destination d
-		// in ascending source order and deliver it in one absorb.
+		// Hash-routed exchange: collect every node's encoded batch for
+		// destination d in ascending source order and deliver them in one
+		// absorb (batches stay separate — each carries its own codec
+		// version byte and compression frame).
 		absorbResps, err := fanout(nodes, func(d int) *Request {
-			var merged []byte
+			req := &Request{Kind: KindAbsorb}
 			for _, r := range stepResps {
-				if d < len(r.Batches) {
-					merged = append(merged, r.Batches[d]...)
+				if d < len(r.Batches) && len(r.Batches[d]) > 0 {
+					req.Batches = append(req.Batches, r.Batches[d])
 				}
 			}
-			return &Request{Kind: KindAbsorb, Batch: merged}
+			return req
 		})
 		if err != nil {
 			return res, err

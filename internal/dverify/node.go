@@ -16,25 +16,67 @@ func owner(h uint64, numNodes int) int {
 	return int(h>>58) * numNodes / 64
 }
 
+// filterBits sizes each per-destination recent-state filter: 1<<filterBits
+// entries of one PackedState each (256 KiB per destination).
+const filterBits = 13
+
+// sendFilter is a fixed-size probing cache of the states most recently
+// routed to one destination: a 2-way set at each hash index, insertion
+// displacing the older way. A hit proves the exact state was routed before
+// (entries store the full state, and equality — not the hash — decides), so
+// suppressing it can never lose a state the owner has not seen; an evicted
+// entry merely costs a redundant re-send, which the owner dedups on absorb.
+// Misses are therefore safe in both directions — the soundness argument in
+// DESIGN.md §4.
+type sendFilter struct {
+	slots []verify.PackedState
+}
+
+func newSendFilter() sendFilter {
+	return sendFilter{slots: make([]verify.PackedState, 1<<filterBits)}
+}
+
+// seen records s and reports whether it was already present. h must be the
+// expander's hash of s; the index bits are disjoint from the shard selector
+// (top six) so one destination's filter spreads over all its shards.
+func (f *sendFilter) seen(s verify.PackedState, h uint64) bool {
+	i := int(h>>24) & (len(f.slots) - 1) &^ 1
+	if f.slots[i] == s || f.slots[i+1] == s {
+		return true
+	}
+	f.slots[i+1] = f.slots[i]
+	f.slots[i] = s
+	return false
+}
+
 // node is one worker's share of a running search: the visited-set
-// partition, the current and next frontiers, and the per-destination batch
-// buffers of the hash-routed exchange.
+// partition, the current and next frontiers, the per-destination routing
+// state (pending successors, recent-state filter, encoded batch) of the
+// hash-routed exchange, and the expansion scratch.
 type node struct {
-	id, n    int
-	exp      *verify.Expander
-	budget   int
-	visited  *verify.StateSet
-	frontier []verify.PackedState
-	next     []verify.PackedState
-	out      [][]byte             // per-destination successor batches
-	scratch  []verify.PackedState // successor / decode buffer
-	tooLarge bool
+	id, n     int
+	exp       *verify.Expander
+	budget    int
+	visited   *verify.StateSet
+	frontier  []verify.PackedState
+	next      []verify.PackedState
+	outStates [][]verify.PackedState // per-destination successors, pre-encode
+	outBytes  [][]byte               // per-destination encoded batches
+	filters   []sendFilter           // per-destination recent-state filters
+	codec     *frontierCodec
+	scratch   []verify.PackedState // successor / decode buffer
+	esc       *verify.ExpandScratch
+	tooLarge  bool
 }
 
 // newNode builds a node for the job, seeding the initial state on its
 // owner. The returned Response reports the seed (Fresh/Next) so the
 // coordinator can start its level loop with consistent counts.
 func newNode(job *Job) (*node, *Response, error) {
+	if job.Proto != protoVersion {
+		return nil, nil, fmt.Errorf("dverify: coordinator speaks protocol %d, this worker speaks %d (rebuild the older side)",
+			job.Proto, protoVersion)
+	}
 	if job.NumNodes < 1 || job.NodeID < 0 || job.NodeID >= job.NumNodes {
 		return nil, nil, fmt.Errorf("dverify: node %d of %d is not a valid placement", job.NodeID, job.NumNodes)
 	}
@@ -56,14 +98,23 @@ func newNode(job *Job) (*node, *Response, error) {
 		budget = defaultMaxStates
 	}
 	nd := &node{
-		id:      job.NodeID,
-		n:       job.NumNodes,
-		exp:     exp,
-		budget:  budget,
-		visited: exp.NewSet(1 << 12),
-		out:     make([][]byte, job.NumNodes),
+		id:        job.NodeID,
+		n:         job.NumNodes,
+		exp:       exp,
+		budget:    budget,
+		visited:   exp.NewSet(1 << 12),
+		outStates: make([][]verify.PackedState, job.NumNodes),
+		outBytes:  make([][]byte, job.NumNodes),
+		filters:   make([]sendFilter, job.NumNodes),
+		codec:     newFrontierCodec(exp),
+		esc:       exp.NewScratch(),
 	}
-	resp := &Response{ViolApp: -1}
+	for d := range nd.filters {
+		if d != nd.id {
+			nd.filters[d] = newSendFilter()
+		}
+	}
+	resp := &Response{Proto: protoVersion, ViolApp: -1}
 	if init := exp.Initial(); owner(exp.Hash(init), nd.n) == nd.id {
 		nd.visited.Add(init)
 		nd.next = append(nd.next, init)
@@ -73,22 +124,23 @@ func newNode(job *Job) (*node, *Response, error) {
 }
 
 // step expands the node's frontier one level: self-owned successors are
-// deduplicated into the next frontier immediately, foreign ones are encoded
-// into per-destination batches for the coordinator to route. A deadline
-// miss short-circuits like the local parallel search — frontier states
-// greater than the node's minimum violating state are skipped, so the
-// reported ViolState is the exact minimum of this partition.
+// deduplicated into the next frontier immediately, foreign ones pass the
+// destination's recent-state filter and are batch-encoded for the
+// coordinator to route. A deadline miss short-circuits like the local
+// parallel search — frontier states greater than the node's minimum
+// violating state are skipped, so the reported ViolState is the exact
+// minimum of this partition.
 func (nd *node) step() *Response {
 	nd.frontier, nd.next = nd.next, nd.frontier[:0]
-	for i := range nd.out {
-		nd.out[i] = nd.out[i][:0]
+	for i := range nd.outStates {
+		nd.outStates[i] = nd.outStates[i][:0]
 	}
 	resp := &Response{ViolApp: -1}
 	for _, s := range nd.frontier {
 		if resp.Viol && verify.LessState(resp.ViolState, s) {
 			continue
 		}
-		succ, violApp := nd.exp.Successors(s, nd.scratch[:0])
+		succ, violApp := nd.exp.SuccessorsInto(s, nd.esc, nd.scratch[:0])
 		nd.scratch = succ[:0]
 		if violApp >= 0 {
 			if !resp.Viol || verify.LessState(s, resp.ViolState) {
@@ -98,8 +150,13 @@ func (nd *node) step() *Response {
 		}
 		resp.Transitions += len(succ)
 		for _, ns := range succ {
-			if dst := owner(nd.exp.Hash(ns), nd.n); dst != nd.id {
-				nd.out[dst] = nd.exp.AppendState(nd.out[dst], ns)
+			h := nd.exp.Hash(ns)
+			if dst := owner(h, nd.n); dst != nd.id {
+				if nd.filters[dst].seen(ns, h) {
+					resp.Filtered++
+				} else {
+					nd.outStates[dst] = append(nd.outStates[dst], ns)
+				}
 			} else if nd.visited.Add(ns) {
 				if nd.visited.Len() > nd.budget {
 					nd.tooLarge = true
@@ -113,33 +170,44 @@ func (nd *node) step() *Response {
 			break
 		}
 	}
-	resp.Batches = nd.out
+	for d := range nd.outStates {
+		nd.outBytes[d] = nd.codec.encode(nd.outStates[d], nd.outBytes[d][:0])
+		resp.Routed += len(nd.outStates[d])
+		resp.WireBytes += len(nd.outBytes[d])
+	}
+	resp.RawBytes = 8 * nd.exp.StateWords() * (resp.Routed + resp.Filtered)
+	resp.Batches = nd.outBytes
 	resp.Next = len(nd.next)
 	resp.TooLarge = nd.tooLarge
 	return resp
 }
 
-// absorb merges the routed successors owned by this node into its visited
-// partition; fresh states join the next-level frontier.
-func (nd *node) absorb(batch []byte) *Response {
+// absorb merges the routed successor batches owned by this node into its
+// visited partition; fresh states join the next-level frontier.
+func (nd *node) absorb(batches [][]byte) *Response {
 	resp := &Response{ViolApp: -1}
-	states, err := nd.exp.DecodeStates(batch, nd.scratch[:0])
-	nd.scratch = states[:0]
-	if err != nil {
-		resp.Err = err.Error()
-		return resp
-	}
-	for _, s := range states {
-		if nd.tooLarge {
-			break
+	for _, b := range batches {
+		states, err := nd.codec.decode(b, nd.scratch[:0])
+		nd.scratch = states[:0]
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
 		}
-		if nd.visited.Add(s) {
-			if nd.visited.Len() > nd.budget {
-				nd.tooLarge = true
+		for _, s := range states {
+			if nd.tooLarge {
 				break
 			}
-			nd.next = append(nd.next, s)
-			resp.Fresh++
+			if nd.visited.Add(s) {
+				if nd.visited.Len() > nd.budget {
+					nd.tooLarge = true
+					break
+				}
+				nd.next = append(nd.next, s)
+				resp.Fresh++
+			}
+		}
+		if nd.tooLarge {
+			break
 		}
 	}
 	resp.Next = len(nd.next)
@@ -178,7 +246,7 @@ func (h *handler) handle(req *Request) *Response {
 		if h.nd == nil {
 			return &Response{Err: "absorb before init"}
 		}
-		return h.nd.absorb(req.Batch)
+		return h.nd.absorb(req.Batches)
 	default:
 		return &Response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
 	}

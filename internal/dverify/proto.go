@@ -1,6 +1,13 @@
 package dverify
 
 import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"slices"
+
 	"tightcps/internal/sched"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
@@ -10,6 +17,17 @@ import (
 // worker node through a strict Init → (Step → Absorb)* request/response
 // session. All types are plain data so the TCP transport can gob-encode
 // them without registration; the loopback transport passes them by pointer.
+
+// protoVersion guards the gob envelope. The batch codec's version byte
+// covers only batch payloads; a field renamed on Request/Response would
+// otherwise be dropped silently by gob in a mixed-version cluster (a stale
+// verifyd daemon), corrupting the search with no error. KindInit therefore
+// carries the coordinator's version in Job.Proto and the node echoes its
+// own in Response.Proto, so either side rejects a mismatch loudly before
+// any frontier is exchanged. Version 2 is the PR-4 protocol (per-source
+// absorb batch lists, codec-framed); PR-3 binaries predate the field and
+// present as version 0.
+const protoVersion = 2
 
 // Kind discriminates coordinator requests.
 type Kind uint8
@@ -30,6 +48,9 @@ const (
 // of verify.Config; Workers, Trace and Distributed are coordinator-side
 // concerns and never cross the wire.
 type Job struct {
+	// Proto is the coordinator's protocol version (protoVersion); nodes
+	// reject jobs from a different one.
+	Proto int
 	// Profiles is the application set under verification, by value so the
 	// gob stream is self-contained.
 	Profiles []switching.Profile
@@ -52,10 +73,11 @@ type Request struct {
 	Kind Kind
 	// Job accompanies KindInit.
 	Job *Job
-	// Batch accompanies KindAbsorb: the concatenated wire encodings of
-	// every successor routed to this node during the current level, merged
-	// in ascending source-node order.
-	Batch []byte
+	// Batches accompanies KindAbsorb: the codec-encoded frontier batches
+	// routed to this node during the current level, in ascending
+	// source-node order, empty batches omitted. Each batch is decoded
+	// independently (compressed batches cannot be concatenated byte-wise).
+	Batches [][]byte
 }
 
 // Response is one node→coordinator message. Err is the worker-side failure
@@ -63,7 +85,12 @@ type Request struct {
 type Response struct {
 	Err string
 
-	// Batches (KindStep) holds, per destination node, the wire-encoded
+	// Proto echoes the node's protocol version on KindInit replies; the
+	// coordinator rejects nodes speaking another version (a PR-3 verifyd
+	// has no such field and presents as 0).
+	Proto int
+
+	// Batches (KindStep) holds, per destination node, the codec-encoded
 	// successors this node generated but does not own. The node's own
 	// index is always empty — self-owned successors are absorbed locally
 	// during the step.
@@ -71,6 +98,17 @@ type Response struct {
 	// Transitions counts the successors generated this level (pre-dedup),
 	// mirroring the local searches.
 	Transitions int
+	// Routed and Filtered count this step's foreign successors: Routed
+	// were encoded into Batches, Filtered were suppressed by the
+	// per-destination recent-state filter (the owner has provably seen
+	// them). RawBytes is the fixed-width cost of all Routed+Filtered
+	// states — the wire volume of the PR-3 format — and WireBytes the
+	// bytes actually occupied by Batches, so the coordinator can report
+	// what the filter and the compressed codec saved.
+	Routed    int
+	Filtered  int
+	RawBytes  int
+	WireBytes int
 	// Fresh counts states newly added to this node's visited set by this
 	// call: self-owned successors for KindStep, routed ones for KindAbsorb,
 	// and the initial state for KindInit when this node owns it.
@@ -89,3 +127,169 @@ type Response struct {
 	ViolState verify.PackedState
 	ViolApp   int
 }
+
+// Frontier batch codec. Every batch opens with a version byte naming the
+// format of the rest; decoders dispatch on it, so formats can coexist on
+// one wire and the fixed-width PR-3 layout stays decodable forever.
+//
+//   - codecRaw: the states' words verbatim, little-endian, StateWords()
+//     words per state — the legacy format, also the encoder's fallback when
+//     delta coding would not shrink a (tiny) batch.
+//   - codecDelta: states sorted by verify.LessState, then for every state
+//     each word's difference to the previous state's same word, zigzag
+//     varint coded. Sorting makes word 0 non-decreasing and packs the
+//     field-structured states into short deltas.
+//   - codecFlate: the codecDelta payload, DEFLATE-compressed. Chosen only
+//     when it is the smallest of the three.
+//
+// Sorting a batch is sound: absorb order within a level affects neither the
+// visited partition nor the verdict (levels are barriers, and the minimum-
+// violator tie-break is order-independent).
+const (
+	codecRaw   byte = 0
+	codecDelta byte = 1
+	codecFlate byte = 2
+)
+
+// flateMinSize is the smallest delta payload worth running DEFLATE over;
+// below it the dictionary warm-up costs more bytes than it saves.
+const flateMinSize = 256
+
+// maxFlateAmplification bounds how far a compressed batch may inflate
+// relative to its wire size. verifyd accepts TCP connections, so absorb
+// must not inflate untrusted bytes unboundedly (a decompression bomb would
+// OOM the worker and take the cluster run with it). Legitimate batches —
+// sorted low-entropy varint deltas — measure well under 100× even on
+// degenerate all-duplicate levels; past the bound the node aborts loudly
+// (a conservative failure, never a wrong verdict).
+const maxFlateAmplification = 256
+
+// frontierCodec encodes and decodes frontier batches for one node. The
+// codecRaw format is exactly the expander's AppendState/DecodeStates
+// layout — one implementation, shared, so the two can never drift. Scratch
+// buffers (and the flate coder pair) are reused across levels, so
+// per-batch work allocates only when a batch outgrows every previous one.
+// Not safe for concurrent use — each node owns one.
+type frontierCodec struct {
+	exp   *verify.Expander
+	words int // significant words per state (exp.StateWords)
+
+	buf  bytes.Buffer // varint payload scratch (encode)
+	zbuf bytes.Buffer // flate output scratch (encode)
+	zw   *flate.Writer
+	zr   io.ReadCloser // reused via flate.Resetter (decode)
+	br   bytes.Reader
+}
+
+func newFrontierCodec(exp *verify.Expander) *frontierCodec {
+	return &frontierCodec{exp: exp, words: exp.StateWords()}
+}
+
+// encode appends the batch encoding of states to dst. states is sorted in
+// place (part of the format). An empty batch encodes to zero bytes.
+func (c *frontierCodec) encode(states []verify.PackedState, dst []byte) []byte {
+	if len(states) == 0 {
+		return dst
+	}
+	slices.SortFunc(states, func(a, b verify.PackedState) int {
+		if verify.LessState(a, b) {
+			return -1
+		}
+		if verify.LessState(b, a) {
+			return 1
+		}
+		return 0
+	})
+	c.buf.Reset()
+	var tmp [binary.MaxVarintLen64]byte
+	var prev verify.PackedState
+	for _, s := range states {
+		for k := 0; k < c.words; k++ {
+			d := int64(s[k] - prev[k]) // exact signed delta mod 2^64
+			c.buf.Write(tmp[:binary.PutUvarint(tmp[:], zigzag(d))])
+		}
+		prev = s
+	}
+	rawSize := 8 * c.words * len(states)
+	payload := c.buf.Bytes()
+	if len(payload) >= rawSize {
+		// Tiny or adversarial batch: fall back to the fixed-width format.
+		dst = append(dst, codecRaw)
+		for _, s := range states {
+			dst = c.exp.AppendState(dst, s)
+		}
+		return dst
+	}
+	if len(payload) >= flateMinSize {
+		c.zbuf.Reset()
+		if c.zw == nil {
+			c.zw, _ = flate.NewWriter(&c.zbuf, flate.BestSpeed)
+		} else {
+			c.zw.Reset(&c.zbuf)
+		}
+		c.zw.Write(payload)
+		c.zw.Close()
+		if c.zbuf.Len() < len(payload) {
+			dst = append(dst, codecFlate)
+			return append(dst, c.zbuf.Bytes()...)
+		}
+	}
+	dst = append(dst, codecDelta)
+	return append(dst, payload...)
+}
+
+// decode appends the states of one encoded batch to out, dispatching on the
+// version byte. A zero-length batch holds no states.
+func (c *frontierCodec) decode(batch []byte, out []verify.PackedState) ([]verify.PackedState, error) {
+	if len(batch) == 0 {
+		return out, nil
+	}
+	version, payload := batch[0], batch[1:]
+	switch version {
+	case codecRaw:
+		return c.exp.DecodeStates(payload, out)
+	case codecFlate:
+		c.br.Reset(payload)
+		if c.zr == nil {
+			c.zr = flate.NewReader(&c.br)
+		} else if err := c.zr.(flate.Resetter).Reset(&c.br, nil); err != nil {
+			return out, fmt.Errorf("dverify: resetting flate reader: %w", err)
+		}
+		c.buf.Reset()
+		limit := int64(maxFlateAmplification) * int64(len(payload)+1024)
+		n, err := c.buf.ReadFrom(io.LimitReader(c.zr, limit+1))
+		if err != nil {
+			return out, fmt.Errorf("dverify: inflating frontier batch: %w", err)
+		}
+		if n > limit {
+			return out, fmt.Errorf("dverify: frontier batch of %d compressed bytes inflates past the %d× amplification bound", len(payload), maxFlateAmplification)
+		}
+		return c.decodeDelta(c.buf.Bytes(), out)
+	case codecDelta:
+		return c.decodeDelta(payload, out)
+	default:
+		return out, fmt.Errorf("dverify: unknown frontier codec version %d", version)
+	}
+}
+
+// decodeDelta reverses the sorted zigzag varint-delta payload.
+func (c *frontierCodec) decodeDelta(payload []byte, out []verify.PackedState) ([]verify.PackedState, error) {
+	var prev verify.PackedState
+	for len(payload) > 0 {
+		s := prev
+		for k := 0; k < c.words; k++ {
+			u, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return out, fmt.Errorf("dverify: truncated varint in frontier batch (word %d)", k)
+			}
+			payload = payload[n:]
+			s[k] = prev[k] + uint64(unzigzag(u))
+		}
+		out = append(out, s)
+		prev = s
+	}
+	return out, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,153 @@
+package verify
+
+import (
+	"testing"
+)
+
+// The allocation gates of the zero-allocation expansion core: once a
+// search goroutine's scratch has grown to the verifier's maximum fanout,
+// expanding a state must not allocate at all, and a whole sequential
+// verification must stay at O(1) amortized allocations per visited state
+// (set growth and frontier doubling are the only remaining sources).
+// Regressions here are what -cpuprofile/-memprofile on cmd/verifyslot and
+// the cmd/bench trajectory exist to diagnose.
+
+// collectLevels runs the first depth BFS levels through the expansion core
+// and returns all frontier states encountered, warming sc and the buffers.
+func collectLevels(v *Verifier, sc *expandScratch, depth int) (states []uint64, succBuf []uint64, choiceBuf []uint32) {
+	visited := newU64Set(1 << 12)
+	frontier := []uint64{v.initial()}
+	visited.add(frontier[0])
+	for d := 0; d < depth; d++ {
+		var next []uint64
+		for _, s := range frontier {
+			states = append(states, s)
+			var viol int
+			succBuf, choiceBuf, viol = v.successors(s, sc, succBuf[:0], choiceBuf[:0])
+			if viol >= 0 {
+				continue
+			}
+			for _, ns := range succBuf {
+				if visited.add(ns) {
+					next = append(next, ns)
+				}
+			}
+		}
+		frontier = next
+	}
+	return states, succBuf, choiceBuf
+}
+
+// TestExpansionCoreAllocFree gates the steady state of the core: expanding
+// any warmed-up batch of states through a scratch performs zero
+// allocations, on the narrow encoding, the wide encoding, and the symmetry
+// quotient.
+func TestExpansionCoreAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI job")
+	}
+	for _, tc := range []struct {
+		name string
+		n    int
+		cfg  Config
+	}{
+		{"narrow", 4, Config{NondetTies: true}},
+		{"narrow-bounded", 4, Config{NondetTies: true, MaxDisturbances: 2}},
+		{"wide", 7, Config{NondetTies: true}},
+		{"symmetry", 5, Config{NondetTies: true, SymmetryReduction: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := New(fleet(tc.n, 6, 1, 2, 10), tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sc expandScratch
+			if !v.wide {
+				states, succBuf, choiceBuf := collectLevels(v, &sc, 3)
+				allocs := testing.AllocsPerRun(10, func() {
+					for _, s := range states {
+						succBuf, choiceBuf, _ = v.successors(s, &sc, succBuf[:0], choiceBuf[:0])
+					}
+				})
+				if allocs != 0 {
+					t.Fatalf("narrow expansion of %d states allocates %.1f times per sweep, want 0", len(states), allocs)
+				}
+				return
+			}
+			// Wide path: warm on the initial state's closure, then re-expand.
+			var states []wstate
+			var succBuf []wstate
+			var choiceBuf []uint32
+			frontier := []wstate{v.initialWide()}
+			for d := 0; d < 3; d++ {
+				var next []wstate
+				for _, s := range frontier {
+					states = append(states, s)
+					succBuf, choiceBuf, _ = v.successorsWide(s, &sc, succBuf[:0], choiceBuf[:0])
+					next = append(next, succBuf...)
+				}
+				frontier = next
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				for _, s := range states {
+					succBuf, choiceBuf, _ = v.successorsWide(s, &sc, succBuf[:0], choiceBuf[:0])
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("wide expansion of %d states allocates %.1f times per sweep, want 0", len(states), allocs)
+			}
+		})
+	}
+}
+
+// TestSequentialSearchAllocAmortized gates the whole sequential driver:
+// verifying slot S2 (10201 states) end to end — verifier construction
+// included — must cost far less than one allocation per hundred states.
+// The PR-3 core allocated ~3 per state.
+func TestSequentialSearchAllocAmortized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI job")
+	}
+	ps := caseProfiles(t, "C6", "C2")
+	var states int
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := Slot(ps, Config{NondetTies: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			t.Fatal("S2 must verify")
+		}
+		states = res.States
+	})
+	if budget := float64(states)/100 + 100; allocs > budget {
+		t.Fatalf("sequential S2 search (%d states) allocates %.0f times, budget %.0f (O(1) amortized per state)", states, allocs, budget)
+	}
+}
+
+// TestExpanderSuccessorsIntoAllocFree pins the exported seam the
+// distributed nodes drive: SuccessorsInto with an owned scratch and a
+// recycled buffer is allocation-free too.
+func TestExpanderSuccessorsIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI job")
+	}
+	e, err := NewExpander(fleet(4, 6, 1, 2, 10), Config{NondetTies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := e.NewScratch()
+	out, app := e.SuccessorsInto(e.Initial(), sc, nil)
+	if app >= 0 {
+		t.Fatal("initial expansion violated")
+	}
+	states := append([]PackedState(nil), out...)
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, s := range states {
+			out, _ = e.SuccessorsInto(s, sc, out[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SuccessorsInto allocates %.1f times per sweep, want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ package verify
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"tightcps/internal/switching"
 )
@@ -24,9 +25,11 @@ type PackedState [wideWords]uint64
 
 // Expander exposes a Verifier's expansion core to external search drivers.
 // Its methods are read-only over the underlying Verifier and safe for
-// concurrent use, except where a caller-owned buffer is passed in.
+// concurrent use, except where a caller-owned buffer or scratch is passed
+// in.
 type Expander struct {
-	v *Verifier
+	v    *Verifier
+	pool sync.Pool // spare *ExpandScratch for the concurrency-safe Successors
 }
 
 // Expander returns the verifier's expansion core.
@@ -63,29 +66,60 @@ func (e *Expander) Initial() PackedState {
 	return PackedState{e.v.initial()}
 }
 
-// Successors appends s's successors to out and returns the extended slice
-// together with the index of the application whose deadline the expansion
-// violated, or −1 when every disturbance choice stays safe. On a violation
-// the successor list is truncated at the point of detection and must be
-// discarded, exactly like the internal search paths do.
-func (e *Expander) Successors(s PackedState, out []PackedState) ([]PackedState, int) {
-	var base cstate
-	var viol *violation
-	if e.v.wide {
-		e.v.unpackWide(wstate(s), &base)
-		viol = e.v.expand(&base, func(c *cstate, _ uint32) {
-			out = append(out, PackedState(e.v.packWide(c)))
-		})
+// ExpandScratch owns the expansion core's reusable buffers — the decoded
+// base state and the successor arena — for one external search driver.
+// A scratch is not safe for concurrent use: give every driver goroutine its
+// own, exactly as the internal searches give one to every BFS worker. The
+// arena grows to the verifier's maximum fanout and is then recycled, so
+// steady-state expansion through SuccessorsInto performs no allocation.
+type ExpandScratch struct {
+	sc expandScratch
+}
+
+// NewScratch returns a fresh scratch for SuccessorsInto.
+func (e *Expander) NewScratch() *ExpandScratch { return &ExpandScratch{} }
+
+// SuccessorsInto appends s's successors to out and returns the extended
+// slice together with the index of the application whose deadline the
+// expansion violated, or −1 when every disturbance choice stays safe. On a
+// violation out is returned unchanged — no partial successors are appended
+// (only the scratch's internal arena holds the truncated expansion), so
+// callers accumulating successors from several states keep the earlier
+// ones. The scratch carries the expansion's buffers between calls; its
+// arena contents are overwritten on every call.
+func (e *Expander) SuccessorsInto(s PackedState, scr *ExpandScratch, out []PackedState) ([]PackedState, int) {
+	v, sc := e.v, &scr.sc
+	if v.wide {
+		v.unpackWide(wstate(s), &sc.base)
 	} else {
-		e.v.unpack(s[0], &base)
-		viol = e.v.expand(&base, func(c *cstate, _ uint32) {
-			out = append(out, PackedState{e.v.pack(c)})
-		})
+		v.unpack(s[0], &sc.base)
 	}
-	if viol != nil {
-		return out, viol.app
+	if viol := v.expand(&sc.base, sc); viol >= 0 {
+		return out, viol
+	}
+	if v.wide {
+		for i := range sc.states {
+			out = append(out, PackedState(v.packWide(&sc.states[i])))
+		}
+	} else {
+		for i := range sc.states {
+			out = append(out, PackedState{v.pack(&sc.states[i])})
+		}
 	}
 	return out, -1
+}
+
+// Successors is SuccessorsInto over a pooled scratch: safe for concurrent
+// use, at the cost of the pool round-trip. Hot drivers hold their own
+// scratch and call SuccessorsInto directly.
+func (e *Expander) Successors(s PackedState, out []PackedState) ([]PackedState, int) {
+	scr, _ := e.pool.Get().(*ExpandScratch)
+	if scr == nil {
+		scr = &ExpandScratch{}
+	}
+	out, app := e.SuccessorsInto(s, scr, out)
+	e.pool.Put(scr)
+	return out, app
 }
 
 // Hash mixes a state for shard selection and set probing. Narrow states use

@@ -24,8 +24,9 @@ func TestExpanderMatchesInternalSuccessors(t *testing.T) {
 	if e.Initial() != (PackedState{init}) {
 		t.Fatalf("Initial() = %v, want word0 %d", e.Initial(), init)
 	}
-	want, _, viol := v.successors(init, nil, nil)
-	if viol != nil {
+	var sc expandScratch
+	want, _, viol := v.successors(init, &sc, nil, nil)
+	if viol >= 0 {
 		t.Fatal("initial state violated")
 	}
 	got, app := e.Successors(PackedState{init}, nil)

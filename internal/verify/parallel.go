@@ -33,6 +33,7 @@ type violRec struct {
 
 // bfsWorker holds one worker's reusable scratch and per-level output.
 type bfsWorker struct {
+	sc     expandScratch
 	succ   []uint64
 	choice []uint32
 	next   []uint64 // fresh states discovered this level
@@ -65,9 +66,12 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 	for i := range ws {
 		ws[i] = &bfsWorker{}
 	}
+	var spare []uint64 // recycled merge buffer, swapped with frontier per level
 
+	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
+		visited.reserve(levelReserve(len(frontier), prevFrontier))
 		var cursor atomic.Int64
 		var minViol atomic.Uint64
 		minViol.Store(noViolation)
@@ -93,10 +97,10 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 					}
 					w.succ = w.succ[:0]
 					w.choice = w.choice[:0]
-					var viol *violation
-					w.succ, w.choice, viol = v.successors(s, w.succ, w.choice)
-					if viol != nil {
-						w.viols = append(w.viols, violRec{state: s, app: viol.app})
+					var viol int
+					w.succ, w.choice, viol = v.successors(s, &w.sc, w.succ, w.choice)
+					if viol >= 0 {
+						w.viols = append(w.viols, violRec{state: s, app: viol})
 						for {
 							mv := minViol.Load()
 							if s >= mv || minViol.CompareAndSwap(mv, s) {
@@ -160,11 +164,15 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 			res.Transitions += w.trans
 			total += len(w.next)
 		}
-		next := make([]uint64, 0, total)
-		for _, w := range ws {
-			next = append(next, w.next...)
+		if cap(spare) < total {
+			spare = make([]uint64, 0, total)
 		}
-		frontier = next
+		spare = spare[:0]
+		for _, w := range ws {
+			spare = append(spare, w.next...)
+		}
+		prevFrontier = len(frontier)
+		frontier, spare = spare, frontier
 	}
 	return res, nil
 }
@@ -178,6 +186,7 @@ type violRecW struct {
 // bfsWideWorker holds one worker's reusable scratch and per-level output
 // for the multi-word search.
 type bfsWideWorker struct {
+	sc     expandScratch
 	succ   []wstate
 	choice []uint32
 	next   []wstate
@@ -207,9 +216,12 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 	for i := range ws {
 		ws[i] = &bfsWideWorker{}
 	}
+	var spare []wstate // recycled merge buffer, swapped with frontier per level
 
+	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
+		visited.reserve(levelReserve(len(frontier), prevFrontier))
 		var cursor atomic.Int64
 		var minViol atomic.Pointer[wstate]
 
@@ -234,10 +246,10 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 					}
 					w.succ = w.succ[:0]
 					w.choice = w.choice[:0]
-					var viol *violation
-					w.succ, w.choice, viol = v.successorsWide(s, w.succ, w.choice)
-					if viol != nil {
-						w.viols = append(w.viols, violRecW{state: s, app: viol.app})
+					var viol int
+					w.succ, w.choice, viol = v.successorsWide(s, &w.sc, w.succ, w.choice)
+					if viol >= 0 {
+						w.viols = append(w.viols, violRecW{state: s, app: viol})
 						for {
 							mv := minViol.Load()
 							if mv != nil && !lessW(s, *mv) {
@@ -305,11 +317,15 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 			res.Transitions += w.trans
 			total += len(w.next)
 		}
-		next := make([]wstate, 0, total)
-		for _, w := range ws {
-			next = append(next, w.next...)
+		if cap(spare) < total {
+			spare = make([]wstate, 0, total)
 		}
-		frontier = next
+		spare = spare[:0]
+		for _, w := range ws {
+			spare = append(spare, w.next...)
+		}
+		prevFrontier = len(frontier)
+		frontier, spare = spare, frontier
 	}
 	return res, nil
 }

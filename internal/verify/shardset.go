@@ -56,6 +56,23 @@ func (s *shardedU64Set) contains(k uint64) bool {
 	return ok
 }
 
+// reserve pre-sizes every shard for its even share of n additional keys, so
+// a level whose fanout was predicted from the previous one inserts without
+// mid-level rehashing. Safe for concurrent use, though the drivers call it
+// only between levels.
+func (s *shardedU64Set) reserve(n int) {
+	per := n / numShards
+	if per == 0 {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.set.reserve(per)
+		sh.mu.Unlock()
+	}
+}
+
 // len returns the number of stored keys across all shards.
 func (s *shardedU64Set) len() int {
 	n := 0
@@ -111,6 +128,21 @@ func (s *shardedWideSet) contains(k wstate) bool {
 	ok := sh.set.contains(k)
 	sh.mu.Unlock()
 	return ok
+}
+
+// reserve pre-sizes every shard for its even share of n additional keys
+// (see shardedU64Set.reserve).
+func (s *shardedWideSet) reserve(n int) {
+	per := n / numShards
+	if per == 0 {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.set.reserve(per)
+		sh.mu.Unlock()
+	}
 }
 
 // len returns the number of stored keys across all shards.

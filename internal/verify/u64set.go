@@ -71,9 +71,27 @@ func (s *u64Set) contains(k uint64) bool {
 // len returns the number of stored keys.
 func (s *u64Set) len() int { return s.n }
 
-func (s *u64Set) grow() {
+// reserve grows the table — in a single rehash — until it can absorb n more
+// keys without exceeding the load factor. The BFS drivers call it with the
+// expected fanout of the coming level, so inserts inside a level never
+// rehash.
+func (s *u64Set) reserve(n int) {
+	need := s.n + n
+	if 4*need <= 3*len(s.slots) {
+		return
+	}
+	size := len(s.slots)
+	for 4*need > 3*size {
+		size <<= 1
+	}
+	s.growTo(size)
+}
+
+func (s *u64Set) grow() { s.growTo(2 * len(s.slots)) }
+
+func (s *u64Set) growTo(size int) {
 	old := s.slots
-	s.slots = make([]uint64, 2*len(old))
+	s.slots = make([]uint64, size)
 	s.mask = uint64(len(s.slots) - 1)
 	s.n = 0
 	for _, v := range old {

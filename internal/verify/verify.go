@@ -130,6 +130,39 @@ type Result struct {
 	// Bounded records whether the accelerated (bounded-disturbance) model
 	// was used.
 	Bounded bool
+	// Wire aggregates the frontier-exchange volume of a distributed run
+	// (zero for local searches): the backend behind Config.Distributed
+	// fills it in so CLIs can report routing and compression effect.
+	Wire WireStats
+}
+
+// WireStats counts the bytes and states a distributed search moved between
+// nodes. RawBytes is what the exchange would have cost in the fixed-width
+// format with no sender-side filtering; WireBytes is what actually crossed
+// the wire, so RawBytes−WireBytes is the volume the filter and the
+// compressed codec saved together.
+type WireStats struct {
+	RoutedStates   int // states encoded onto the wire (post-filter)
+	FilteredStates int // states suppressed by sender-side recent filters
+	RawBytes       int // fixed-width cost of routed+filtered states
+	WireBytes      int // bytes actually shipped (batches incl. codec byte)
+}
+
+// Add accumulates other into w.
+func (w *WireStats) Add(other WireStats) {
+	w.RoutedStates += other.RoutedStates
+	w.FilteredStates += other.FilteredStates
+	w.RawBytes += other.RawBytes
+	w.WireBytes += other.WireBytes
+}
+
+// Report formats the counters as the one-line summary every CLI prints —
+// the distributed CI smoke greps this exact shape, so it lives here rather
+// than being duplicated per command. Call only when RawBytes > 0.
+func (w WireStats) Report() string {
+	saved := 100 * (1 - float64(w.WireBytes)/float64(w.RawBytes))
+	return fmt.Sprintf("wire: routed=%d filtered=%d raw=%dB shipped=%dB (%.0f%% saved)",
+		w.RoutedStates, w.FilteredStates, w.RawBytes, w.WireBytes, saved)
 }
 
 // ErrTooLarge is returned when the state cap is exceeded.
@@ -314,9 +347,22 @@ func (v *Verifier) initial() uint64 {
 	return v.pack(&c)
 }
 
-// violation describes a deadline miss discovered during expansion.
-type violation struct {
-	app int
+// expandScratch owns every buffer the expansion core writes through: the
+// decoded base state, the successor arena (states plus the disturbance
+// bitmask that produced each) and the fixed-size index buffers of the
+// scheduling helpers. Each search goroutine owns exactly one scratch —
+// the sequential drivers keep one on the stack, every parallel BFS worker
+// and every distributed node embeds its own — so the hot path performs no
+// allocation once the arena has grown to the verifier's maximum fanout
+// (TestExpansionCoreAllocFree gates this).
+type expandScratch struct {
+	base   cstate
+	states []cstate // successor arena, reset by expand
+	masks  []uint32 // disturbance bitmask per successor, parallel to states
+
+	elig [maxApps]int8 // eligible-disturbance buffer (expand)
+	wait [maxApps]int8 // waiter buffer (schedule)
+	cand [maxApps]int8 // grant-candidate buffer (schedule)
 }
 
 // laneKey totally orders one application's lane content for the symmetry
@@ -348,13 +394,19 @@ func (v *Verifier) canon(c *cstate) {
 }
 
 // expand applies the shared per-sample semantics to one decoded state: it
-// advances clocks, enumerates the adversarial disturbance choices, and calls
-// emit for every post-scheduling successor together with the disturbance
-// bitmask that produced it. base is consumed (clock-advanced in place). It
-// returns a non-nil violation as soon as any choice leads to a deadline
-// miss. Both packed encodings route their successor generation through
-// here, so narrow and wide searches explore identical semantics.
-func (v *Verifier) expand(base *cstate, emit func(*cstate, uint32)) *violation {
+// advances clocks, enumerates the adversarial disturbance choices, and
+// appends every post-scheduling successor — together with the disturbance
+// bitmask that produced it — to sc's arena. base is consumed (clock-advanced
+// in place) and the arena is reset on entry, so callers must consume it
+// between calls. The return value is the index of the application whose
+// deadline some choice violated, or −1 when every choice stays safe; on a
+// violation the arena is truncated mid-choice and must be discarded. Both
+// packed encodings route their successor generation through here, so narrow
+// and wide searches explore identical semantics — without allocating.
+func (v *Verifier) expand(base *cstate, sc *expandScratch) int {
+	sc.states = sc.states[:0]
+	sc.masks = sc.masks[:0]
+
 	// Step 1–2: advance clocks; finish cooldowns.
 	for i := 0; i < v.n; i++ {
 		switch base.phase[i] {
@@ -374,7 +426,7 @@ func (v *Verifier) expand(base *cstate, emit func(*cstate, uint32)) *violation {
 	}
 
 	// Eligible disturbance set.
-	var elig []int
+	nelig := 0
 	for i := 0; i < v.n; i++ {
 		if base.phase[i] != pSteady {
 			continue
@@ -382,34 +434,33 @@ func (v *Verifier) expand(base *cstate, emit func(*cstate, uint32)) *violation {
 		if v.cfg.MaxDisturbances > 0 && int(base.cnt[i]) >= v.cfg.MaxDisturbances {
 			continue
 		}
-		elig = append(elig, i)
+		sc.elig[nelig] = int8(i)
+		nelig++
 	}
 
 	if v.symGroups != nil {
-		return v.expandGrouped(base, elig, emit)
+		return v.expandGrouped(base, sc.elig[:nelig], sc)
 	}
 
-	for mask := 0; mask < 1<<len(elig); mask++ {
+	for mask := 0; mask < 1<<nelig; mask++ {
 		c := *base
-		for b, app := range elig {
+		var m uint32
+		for b := 0; b < nelig; b++ {
 			if mask&(1<<b) != 0 {
+				app := int(sc.elig[b])
 				c.phase[app] = pWaiting
 				c.val[app] = 0
 				if v.cfg.MaxDisturbances > 0 {
 					c.cnt[app]++
 				}
+				m |= 1 << uint(app)
 			}
 		}
-		viol, granted := v.schedule(&c)
-		if viol != nil {
+		if viol := v.schedule(&c, m, sc); viol >= 0 {
 			return viol
 		}
-		m := eligMask(elig, mask)
-		for _, g := range granted {
-			emit(g, m)
-		}
 	}
-	return nil
+	return -1
 }
 
 // expandGrouped is the symmetry-aware disturbance enumeration: eligible
@@ -417,10 +468,10 @@ func (v *Verifier) expand(base *cstate, emit func(*cstate, uint32)) *violation {
 // class, same disturbance count — identical lane content, since Steady
 // lanes carry val 0), and only the number disturbed per group is chosen.
 // The branching factor drops from 2^e subsets to Π(|group|+1) count
-// vectors; every successor is canonicalised before emission. All scratch
-// lives in fixed-size stack arrays — this runs once per explored state,
-// tens of millions of times per fleet check.
-func (v *Verifier) expandGrouped(base *cstate, elig []int, emit func(*cstate, uint32)) *violation {
+// vectors; every successor is canonicalised in the arena before the next
+// choice runs. All scratch lives in fixed-size stack arrays and sc — this
+// runs once per explored state, tens of millions of times per fleet check.
+func (v *Verifier) expandGrouped(base *cstate, elig []int8, sc *expandScratch) int {
 	// members holds the eligible apps reordered group by group;
 	// groupEnd[g] is the end offset of group g within it.
 	var members [maxApps]int8
@@ -451,7 +502,7 @@ func (v *Verifier) expandGrouped(base *cstate, elig []int, emit func(*cstate, ui
 			ngroups++
 			// New groups open at the end; existing groups grow by shifting
 			// the (few) later members right.
-			members[pos] = int8(a)
+			members[pos] = a
 			groupEnd[gi] = pos + 1
 			pos++
 			continue
@@ -460,7 +511,7 @@ func (v *Verifier) expandGrouped(base *cstate, elig []int, emit func(*cstate, ui
 		for j := pos; j > insert; j-- {
 			members[j] = members[j-1]
 		}
-		members[insert] = int8(a)
+		members[insert] = a
 		for g := gi; g < ngroups; g++ {
 			groupEnd[g]++
 		}
@@ -484,13 +535,12 @@ func (v *Verifier) expandGrouped(base *cstate, elig []int, emit func(*cstate, ui
 			}
 			start = groupEnd[g]
 		}
-		viol, granted := v.schedule(&c)
-		if viol != nil {
+		first := len(sc.states)
+		if viol := v.schedule(&c, m, sc); viol >= 0 {
 			return viol
 		}
-		for _, g := range granted {
-			v.canon(g)
-			emit(g, m)
+		for i := first; i < len(sc.states); i++ {
+			v.canon(&sc.states[i])
 		}
 		// Odometer over per-group disturbance counts.
 		gi := 0
@@ -506,50 +556,48 @@ func (v *Verifier) expandGrouped(base *cstate, elig []int, emit func(*cstate, ui
 			counts[gi] = 0
 		}
 		if gi == ngroups {
-			return nil
+			return -1
 		}
 	}
 }
 
-// successors expands one narrow-packed state, appending the resulting packed
-// states to out. choices records, parallel to out, the disturbance subset
-// (bitmask) that produced each successor.
-func (v *Verifier) successors(s uint64, out []uint64, choices []uint32) ([]uint64, []uint32, *violation) {
-	var base cstate
-	v.unpack(s, &base)
-	viol := v.expand(&base, func(c *cstate, m uint32) {
-		out = append(out, v.pack(c))
-		choices = append(choices, m)
-	})
-	return out, choices, viol
+// successors expands one narrow-packed state through sc, appending the
+// resulting packed states to out. choices records, parallel to out, the
+// disturbance subset (bitmask) that produced each successor. The returned
+// violator index is −1 when every disturbance choice stays safe; on a
+// violation out and choices carry no new entries.
+func (v *Verifier) successors(s uint64, sc *expandScratch, out []uint64, choices []uint32) ([]uint64, []uint32, int) {
+	v.unpack(s, &sc.base)
+	if viol := v.expand(&sc.base, sc); viol >= 0 {
+		return out, choices, viol
+	}
+	for i := range sc.states {
+		out = append(out, v.pack(&sc.states[i]))
+	}
+	choices = append(choices, sc.masks...)
+	return out, choices, -1
 }
 
 // successorsWide is successors over the multi-word encoding.
-func (v *Verifier) successorsWide(s wstate, out []wstate, choices []uint32) ([]wstate, []uint32, *violation) {
-	var base cstate
-	v.unpackWide(s, &base)
-	viol := v.expand(&base, func(c *cstate, m uint32) {
-		out = append(out, v.packWide(c))
-		choices = append(choices, m)
-	})
-	return out, choices, viol
-}
-
-// eligMask converts a subset index over elig into an app bitmask.
-func eligMask(elig []int, mask int) uint32 {
-	var m uint32
-	for b, app := range elig {
-		if mask&(1<<b) != 0 {
-			m |= 1 << uint(app)
-		}
+func (v *Verifier) successorsWide(s wstate, sc *expandScratch, out []wstate, choices []uint32) ([]wstate, []uint32, int) {
+	v.unpackWide(s, &sc.base)
+	if viol := v.expand(&sc.base, sc); viol >= 0 {
+		return out, choices, viol
 	}
-	return m
+	for i := range sc.states {
+		out = append(out, v.packWide(&sc.states[i]))
+	}
+	choices = append(choices, sc.masks...)
+	return out, choices, -1
 }
 
-// schedule applies eviction, granting and the deadline check to c. It
-// returns the possible post-scheduling states (more than one only with
-// nondeterministic tie-breaking) or a violation.
-func (v *Verifier) schedule(c *cstate) (*violation, []*cstate) {
+// schedule applies eviction, granting and the deadline check to c,
+// appending the possible post-scheduling states (more than one only with
+// nondeterministic tie-breaking) to sc's arena, each paired with the
+// disturbance mask m. It returns the violating application's index, or −1;
+// on a violation the arena may hold a truncated choice and must be
+// discarded by the caller.
+func (v *Verifier) schedule(c *cstate, m uint32, sc *expandScratch) int {
 	// Forced vacate at Tdw+; preemption in [Tdw−, Tdw+).
 	if c.occ >= 0 {
 		o := int(c.occ)
@@ -562,13 +610,12 @@ func (v *Verifier) schedule(c *cstate) (*violation, []*cstate) {
 		if int(c.cT) >= dtMax {
 			evict = true
 		} else if int(c.cT) >= dtMin {
-			w := v.waiters(c)
-			if len(w) > 0 {
+			if nw := v.waiters(c, &sc.wait); nw > 0 {
 				switch v.cfg.Policy {
 				case sched.PreemptEager:
 					evict = true
 				case sched.PreemptLazy:
-					u := v.mostUrgent(c, w)
+					u := v.mostUrgent(c, sc.wait[:nw])
 					if v.profs[u].TwStar-int(c.val[u]) <= 0 {
 						evict = true
 					}
@@ -589,56 +636,61 @@ func (v *Verifier) schedule(c *cstate) (*violation, []*cstate) {
 		}
 	}
 
-	// Grant.
-	var results []*cstate
+	// Grant: candidate states are built directly in the arena.
 	if c.occ < 0 {
-		w := v.waiters(c)
-		if len(w) > 0 {
-			cands := v.grantCandidates(c, w)
-			for _, g := range cands {
-				nc := *c
-				if _, _, ok := v.profs[g].Lookup(int(nc.val[g])); !ok {
+		if nw := v.waiters(c, &sc.wait); nw > 0 {
+			ncand := v.grantCandidates(c, sc.wait[:nw], &sc.cand)
+			granted := false
+			for _, g8 := range sc.cand[:ncand] {
+				g := int(g8)
+				if _, _, ok := v.profs[g].Lookup(int(c.val[g])); !ok {
 					continue // past T*w — the miss check below will fire
 				}
+				sc.states = append(sc.states, *c)
+				nc := &sc.states[len(sc.states)-1]
 				nc.phase[g] = pGranted
 				// val keeps tw (the wait at grant); cT restarts.
 				nc.occ = int8(g)
 				nc.cT = 0
-				if viol := v.missCheck(&nc); viol != nil {
-					return viol, nil
+				if viol := v.missCheck(nc); viol >= 0 {
+					return viol
 				}
-				cp := nc
-				results = append(results, &cp)
+				sc.masks = append(sc.masks, m)
+				granted = true
 			}
-			if len(results) > 0 {
-				return nil, results
+			if granted {
+				return -1
 			}
 		}
 	}
-	if viol := v.missCheck(c); viol != nil {
-		return viol, nil
+	if viol := v.missCheck(c); viol >= 0 {
+		return viol
 	}
-	cp := *c
-	return nil, []*cstate{&cp}
+	sc.states = append(sc.states, *c)
+	sc.masks = append(sc.masks, m)
+	return -1
 }
 
-// waiters returns the indices of Waiting applications.
-func (v *Verifier) waiters(c *cstate) []int {
-	var w []int
+// waiters writes the indices of Waiting applications into buf (ascending)
+// and returns how many there are.
+func (v *Verifier) waiters(c *cstate, buf *[maxApps]int8) int {
+	n := 0
 	for i := 0; i < v.n; i++ {
 		if c.phase[i] == pWaiting {
-			w = append(w, i)
+			buf[n] = int8(i)
+			n++
 		}
 	}
-	return w
+	return n
 }
 
 // mostUrgent returns the waiter with minimum deadline D = T*w − wt, with
 // the runtime arbiter's deterministic tie-break.
-func (v *Verifier) mostUrgent(c *cstate, w []int) int {
+func (v *Verifier) mostUrgent(c *cstate, w []int8) int {
 	best := -1
 	bestD, bestTie := 0, 0
-	for _, i := range w {
+	for _, i8 := range w {
+		i := int(i8)
 		d := v.profs[i].TwStar - int(c.val[i])
 		tie := v.profs[i].MaxTdwMinus()
 		if best < 0 || d < bestD || (d == bestD && tie < bestTie) {
@@ -648,12 +700,14 @@ func (v *Verifier) mostUrgent(c *cstate, w []int) int {
 	return best
 }
 
-// grantCandidates returns the waiters that may legally receive an idle
-// slot: the unique most-urgent one (deterministic mode) or all waiters tied
-// at the minimum deadline (nondeterministic mode).
-func (v *Verifier) grantCandidates(c *cstate, w []int) []int {
+// grantCandidates writes into buf the waiters that may legally receive an
+// idle slot — the unique most-urgent one (deterministic mode) or all
+// waiters tied at the minimum deadline (nondeterministic mode) — and
+// returns how many there are.
+func (v *Verifier) grantCandidates(c *cstate, w []int8, buf *[maxApps]int8) int {
 	if !v.cfg.NondetTies {
-		return []int{v.mostUrgent(c, w)}
+		buf[0] = int8(v.mostUrgent(c, w))
+		return 1
 	}
 	minD := 1 << 30
 	for _, i := range w {
@@ -661,24 +715,26 @@ func (v *Verifier) grantCandidates(c *cstate, w []int) []int {
 			minD = d
 		}
 	}
-	var out []int
+	n := 0
 	for _, i := range w {
 		if v.profs[i].TwStar-int(c.val[i]) == minD {
-			out = append(out, i)
+			buf[n] = i
+			n++
 		}
 	}
-	return out
+	return n
 }
 
-// missCheck flags a still-waiting application whose wait has reached T*w:
-// the earliest possible future grant (next sample) would exceed T*w.
-func (v *Verifier) missCheck(c *cstate) *violation {
+// missCheck returns the index of a still-waiting application whose wait has
+// reached T*w — the earliest possible future grant (next sample) would
+// exceed T*w — or −1.
+func (v *Verifier) missCheck(c *cstate) int {
 	for i := 0; i < v.n; i++ {
 		if c.phase[i] == pWaiting && int(c.val[i]) >= v.profs[i].TwStar {
-			return &violation{app: i}
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // Run performs the BFS reachability analysis, fanning the frontier out over
@@ -707,33 +763,55 @@ func (v *Verifier) Run() (Result, error) {
 	return v.runParallel(workers)
 }
 
+// levelReserve estimates how many fresh states the coming level will
+// discover from the previous level's fanout — the previous level turned
+// prevFrontier frontier states into frontier fresh ones, so the coming one
+// is sized at the same ratio — letting the visited sets grow to the level's
+// size in one rehash instead of doubling mid-level.
+func levelReserve(frontier, prevFrontier int) int {
+	if prevFrontier <= 0 {
+		return frontier
+	}
+	est := frontier * frontier / prevFrontier
+	if max := 8 * frontier; est > max {
+		est = max // cap runaway extrapolation on early ragged levels
+	}
+	return est
+}
+
 // runSequential is the single-goroutine BFS: frontier states are expanded in
 // insertion order and the search stops at the first violation encountered.
+// The frontier slices and the expansion scratch are recycled across levels,
+// so the steady-state loop allocates only when the visited set grows.
 func (v *Verifier) runSequential() (Result, error) {
 	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
 	visited := newU64Set(1 << 16)
 	init := v.initial()
 	visited.add(init)
 	frontier := []uint64{init}
+	var next []uint64 // recycled: swapped with frontier at every level
 	var parents map[uint64]parentEdge
 	if v.cfg.Trace {
 		parents = map[uint64]parentEdge{}
 	}
 	res.States = 1
 
+	var sc expandScratch
 	var succBuf []uint64
 	var choiceBuf []uint32
+	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
-		var next []uint64
+		visited.reserve(levelReserve(len(frontier), prevFrontier))
+		next = next[:0]
 		for _, s := range frontier {
 			succBuf = succBuf[:0]
 			choiceBuf = choiceBuf[:0]
-			var viol *violation
-			succBuf, choiceBuf, viol = v.successors(s, succBuf, choiceBuf)
-			if viol != nil {
+			var viol int
+			succBuf, choiceBuf, viol = v.successors(s, &sc, succBuf, choiceBuf)
+			if viol >= 0 {
 				res.Schedulable = false
-				res.Violator = viol.app
+				res.Violator = viol
 				if v.cfg.Trace {
 					res.Counterexample = v.rebuildTrace(parents, s, init)
 				}
@@ -753,7 +831,8 @@ func (v *Verifier) runSequential() (Result, error) {
 				}
 			}
 		}
-		frontier = next
+		prevFrontier = len(frontier)
+		frontier, next = next, frontier
 	}
 	return res, nil
 }
@@ -765,25 +844,29 @@ func (v *Verifier) runSequentialWide() (Result, error) {
 	init := v.initialWide()
 	visited.add(init)
 	frontier := []wstate{init}
+	var next []wstate // recycled: swapped with frontier at every level
 	var parents map[wstate]parentEdgeWide
 	if v.cfg.Trace {
 		parents = map[wstate]parentEdgeWide{}
 	}
 	res.States = 1
 
+	var sc expandScratch
 	var succBuf []wstate
 	var choiceBuf []uint32
+	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
-		var next []wstate
+		visited.reserve(levelReserve(len(frontier), prevFrontier))
+		next = next[:0]
 		for _, s := range frontier {
 			succBuf = succBuf[:0]
 			choiceBuf = choiceBuf[:0]
-			var viol *violation
-			succBuf, choiceBuf, viol = v.successorsWide(s, succBuf, choiceBuf)
-			if viol != nil {
+			var viol int
+			succBuf, choiceBuf, viol = v.successorsWide(s, &sc, succBuf, choiceBuf)
+			if viol >= 0 {
 				res.Schedulable = false
-				res.Violator = viol.app
+				res.Violator = viol
 				if v.cfg.Trace {
 					res.Counterexample = v.rebuildTraceWide(parents, s, init)
 				}
@@ -803,7 +886,8 @@ func (v *Verifier) runSequentialWide() (Result, error) {
 				}
 			}
 		}
-		frontier = next
+		prevFrontier = len(frontier)
+		frontier, next = next, frontier
 	}
 	return res, nil
 }

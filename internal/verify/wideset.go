@@ -61,9 +61,25 @@ func (s *wideSet) contains(k wstate) bool {
 // len returns the number of stored keys.
 func (s *wideSet) len() int { return s.n }
 
-func (s *wideSet) grow() {
+// reserve grows the table — in a single rehash — until it can absorb n more
+// keys without exceeding the load factor (see u64Set.reserve).
+func (s *wideSet) reserve(n int) {
+	need := s.n + n
+	if 4*need <= 3*len(s.slots) {
+		return
+	}
+	size := len(s.slots)
+	for 4*need > 3*size {
+		size <<= 1
+	}
+	s.growTo(size)
+}
+
+func (s *wideSet) grow() { s.growTo(2 * len(s.slots)) }
+
+func (s *wideSet) growTo(size int) {
 	old := s.slots
-	s.slots = make([]wstate, 2*len(old))
+	s.slots = make([]wstate, size)
 	s.mask = uint64(len(s.slots) - 1)
 	s.n = 0
 	for _, v := range old {
