@@ -1,7 +1,7 @@
 // Command bench regenerates BENCH_verify.json, the repository's performance
 // trajectory for the verification hot path. It measures, via
-// testing.Benchmark, the three workloads the dimensioning engine's capacity
-// is quoted in:
+// testing.Benchmark, the workloads the dimensioning engine's capacity is
+// quoted in:
 //
 //   - VerifyS1: the paper's hardest slot (C1+C5+C4+C3, 1.44M states) on the
 //     sequential narrow-encoding search — the canonical states/second and
@@ -9,14 +9,20 @@
 //     bench_test.go);
 //   - VerifyWideFleet9: a nine-instance fleet on the multi-word encoding
 //     under the symmetry quotient;
-//   - VerifyS1Loopback2: S1 distributed over two in-process loopback
-//     workers, which additionally reports the frontier-exchange wire volume
-//     (raw vs shipped bytes, sender-filtered states).
+//   - VerifyS1Loopback2 / VerifyS1Loopback4: S1 distributed over two and
+//     four in-process loopback workers on the mesh topology (direct
+//     worker↔worker exchange, pipelined levels);
+//   - VerifyS1Loopback2Relay: the same two-worker run on the PR-4
+//     level-synchronous coordinator relay, which also reports the
+//     frontier-exchange wire volume of the compressed codec (the mesh's
+//     loopback links pass decoded states and ship no encoded bytes).
 //
-// The emitted JSON carries the measured numbers alongside the recorded
-// pre-PR-4 baseline, so CI and later PRs can assert the trajectory (the
-// PR-4 acceptance gate: ≥ 5× fewer B/op and allocs/op on VerifyS1, ≥ 40%
-// fewer bytes routed on the 2-node run).
+// The distributed_scaling section records states/second per node count and
+// the speedup against both the single-node search and the recorded PR-4
+// two-node relay baseline, so CI and later PRs can assert that adding
+// nodes buys throughput (the PR-5 acceptance gate: 2-node mesh ≥ 1.5× the
+// PR-4 loopback baseline). The pre-PR-4 VerifyS1 baseline stays for the
+// allocation trajectory (≥ 5× fewer B/op and allocs/op).
 //
 // Usage:
 //
@@ -56,6 +62,17 @@ type wireResult struct {
 	SavedFraction  float64 `json:"saved_fraction"`
 }
 
+// scalingEntry is one node-count measurement of the distributed_scaling
+// study: S1 throughput at a cluster size, with speedups against the
+// single-node search and the recorded PR-4 two-node relay baseline.
+type scalingEntry struct {
+	Nodes           int     `json:"nodes"`
+	Topology        string  `json:"topology"` // "local", "mesh" or "relay"
+	StatesPerSec    float64 `json:"states_per_sec"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single_node"`
+	SpeedupVsPR4    float64 `json:"speedup_vs_pr4_loopback2"`
+}
+
 // report is the BENCH_verify.json schema.
 type report struct {
 	Generated string `json:"generated"`
@@ -63,11 +80,19 @@ type report struct {
 	// expansion core), recorded once so later runs always compare against
 	// the same anchor. The pre-PR wire volume is RawBytes by construction
 	// (the fixed-width format shipped every routed state).
-	Baseline  benchResult   `json:"baseline_verify_s1_pr3"`
-	Current   []benchResult `json:"current"`
-	Wire      wireResult    `json:"wire_2node_s1"`
-	BRatio    float64       `json:"b_per_op_improvement"`
-	AllocsRat float64       `json:"allocs_per_op_improvement"`
+	Baseline benchResult   `json:"baseline_verify_s1_pr3"`
+	Current  []benchResult `json:"current"`
+	// Wire is the two-node relay run's exchange volume — the codec path;
+	// mesh loopback links pass decoded states, so their shipped bytes
+	// equal the raw volume by construction.
+	Wire wireResult `json:"wire_2node_s1_relay"`
+	// Scaling is the distributed throughput study: states/second per node
+	// count, against BaselineLB2 — the PR-4 two-node loopback relay
+	// measurement, recorded once.
+	BaselineLB2 float64        `json:"baseline_loopback2_pr4_states_per_sec"`
+	Scaling     []scalingEntry `json:"distributed_scaling"`
+	BRatio      float64        `json:"b_per_op_improvement"`
+	AllocsRat   float64        `json:"allocs_per_op_improvement"`
 }
 
 // baselineS1 is the pre-PR-4 VerifyS1 measurement (PR-3 tree, same host
@@ -80,6 +105,11 @@ var baselineS1 = benchResult{
 	BPerOp:       202052528,
 	AllocsPerOp:  4888249,
 }
+
+// baselineLoopback2PR4 is the PR-4 two-node loopback measurement (the
+// coordinator-relay exchange, 625ms for S1) — the anchor the mesh's
+// scaling numbers are gated against.
+const baselineLoopback2PR4 = 1440712 / 0.625211794
 
 // fleetProfiles builds n identical synthetic profiles (distinct names) with
 // constant dwell windows — the fleet workload of the wide encoding,
@@ -153,16 +183,51 @@ func main() {
 		return verify.Slot(fleet9, verify.Config{NondetTies: true, SymmetryReduction: true, Workers: 1})
 	}))
 
-	fmt.Fprintln(os.Stderr, "bench: VerifyS1Loopback2 (2-node distributed)...")
+	single := rep.Current[0].StatesPerSec
+	rep.BaselineLB2 = baselineLoopback2PR4
+	rep.Scaling = append(rep.Scaling, scalingEntry{
+		Nodes: 1, Topology: "local", StatesPerSec: single,
+		SpeedupVsSingle: 1, SpeedupVsPR4: single / baselineLoopback2PR4,
+	})
+
+	// Distributed S1: the mesh topology at two and four loopback workers
+	// (the scaling study), plus the two-worker relay for the wire-volume
+	// numbers of the compressed codec path.
+	meshRun := func(name string, n int) {
+		fmt.Fprintf(os.Stderr, "bench: %s (%d-node mesh)...\n", name, n)
+		ts := dverify.Loopback(n)
+		defer dverify.Close(ts)
+		runner := dverify.Runner(ts)
+		r := measure(name, &states, func() (verify.Result, error) {
+			return verify.Slot(s1, verify.Config{NondetTies: true, Distributed: runner})
+		})
+		rep.Current = append(rep.Current, r)
+		rep.Scaling = append(rep.Scaling, scalingEntry{
+			Nodes: n, Topology: "mesh", StatesPerSec: r.StatesPerSec,
+			SpeedupVsSingle: r.StatesPerSec / single,
+			SpeedupVsPR4:    r.StatesPerSec / baselineLoopback2PR4,
+		})
+	}
+	meshRun("VerifyS1Loopback2", 2)
+	meshRun("VerifyS1Loopback4", 4)
+
+	fmt.Fprintln(os.Stderr, "bench: VerifyS1Loopback2Relay (2-node relay)...")
 	ts := dverify.Loopback(2)
 	defer dverify.Close(ts)
 	runner := dverify.Runner(ts)
 	var wire verify.WireStats
-	rep.Current = append(rep.Current, measure("VerifyS1Loopback2", &states, func() (verify.Result, error) {
-		res, err := verify.Slot(s1, verify.Config{NondetTies: true, Distributed: runner})
+	relay := measure("VerifyS1Loopback2Relay", &states, func() (verify.Result, error) {
+		res, err := verify.Slot(s1, verify.Config{
+			NondetTies: true, Distributed: runner, DistTopology: verify.TopologyRelay})
 		wire = res.Wire
 		return res, err
-	}))
+	})
+	rep.Current = append(rep.Current, relay)
+	rep.Scaling = append(rep.Scaling, scalingEntry{
+		Nodes: 2, Topology: "relay", StatesPerSec: relay.StatesPerSec,
+		SpeedupVsSingle: relay.StatesPerSec / single,
+		SpeedupVsPR4:    relay.StatesPerSec / baselineLoopback2PR4,
+	})
 	rep.Wire = wireResult{
 		RoutedStates:   wire.RoutedStates,
 		FilteredStates: wire.FilteredStates,
@@ -186,9 +251,13 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	for _, c := range rep.Current {
-		fmt.Printf("  %-18s %8.0f states/s  %12d B/op  %9d allocs/op\n",
+		fmt.Printf("  %-22s %8.0f states/s  %12d B/op  %9d allocs/op\n",
 			c.Name, c.StatesPerSec, c.BPerOp, c.AllocsPerOp)
 	}
-	fmt.Printf("  vs baseline: B/op ×%.1f, allocs/op ×%.0f; 2-node wire %.0f%% below raw\n",
+	fmt.Printf("  vs baseline: B/op ×%.1f, allocs/op ×%.0f; 2-node relay wire %.0f%% below raw\n",
 		rep.BRatio, rep.AllocsRat, 100*rep.Wire.SavedFraction)
+	for _, s := range rep.Scaling {
+		fmt.Printf("  scaling: %d-node %-5s %8.0f states/s  ×%.2f vs single  ×%.2f vs PR-4 loopback2\n",
+			s.Nodes, s.Topology, s.StatesPerSec, s.SpeedupVsSingle, s.SpeedupVsPR4)
+	}
 }

@@ -23,7 +23,9 @@
 //	-nodes K / -connect a,b   run every slot verification on the distributed
 //	                          backend (K in-process loopback workers, or
 //	                          cmd/verifyd daemons over TCP); -maxstates then
-//	                          budgets states per node
+//	                          budgets states per node, and -mesh=false drops
+//	                          from the default worker↔worker mesh exchange
+//	                          to the level-synchronous coordinator relay
 //	-cachefile warm.bin       persist the -synthetic admission cache across
 //	                          invocations (config-salted, safe across runs)
 //	-granularity-sweep l,h,s  re-dimension the -synthetic workload at every
@@ -70,6 +72,7 @@ func main() {
 		maxStates  = flag.Int("maxstates", 30_000_000, "per-admission state budget for -synthetic (per node when distributed); busted checks are rejected conservatively")
 		nodes      = flag.Int("nodes", 0, "distribute slot verification over K in-process loopback workers (0 = local)")
 		connect    = flag.String("connect", "", "distribute slot verification over verifyd workers at these comma-separated addresses")
+		meshF      = flag.Bool("mesh", true, "distributed topology: worker↔worker mesh with pipelined levels (false = level-synchronous coordinator relay)")
 		cachefile  = flag.String("cachefile", "", "load/save the -synthetic admission cache at this path (warm starts across runs)")
 		granSweep  = flag.String("granularity-sweep", "", "with -synthetic: re-dimension at every Tw granularity lo,hi,step (e.g. 1,8,1)")
 	)
@@ -109,6 +112,9 @@ func main() {
 	if ts != nil {
 		defer dverify.Close(ts)
 		distRunner, distNodes = dverify.Runner(ts), len(ts)
+		if !*meshF {
+			distTopology = verify.TopologyRelay
+		}
 		fmt.Println(clusterDesc)
 	}
 	if *synthetic > 0 {
@@ -157,8 +163,9 @@ var workers int
 // distributed backend, and distNodes salts budget-dependent cache keys
 // (the per-node budget scales aggregate capacity with the cluster size).
 var (
-	distRunner func([]*switching.Profile, verify.Config) (verify.Result, error)
-	distNodes  int
+	distRunner   func([]*switching.Profile, verify.Config) (verify.Result, error)
+	distNodes    int
+	distTopology verify.DistTopology
 )
 
 // admissionCache memoizes slot-admission verdicts across the experiments of
@@ -169,7 +176,8 @@ var admissionCache = mapping.NewCache()
 // packed checker with nondeterministic ties, fanned out over -workers (or
 // over the -nodes/-connect cluster).
 func slotVerify(ps []*switching.Profile) (bool, error) {
-	res, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers, Distributed: distRunner})
+	res, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers,
+		Distributed: distRunner, DistTopology: distTopology})
 	if err != nil {
 		return false, err
 	}
@@ -507,6 +515,7 @@ type admissionStats struct {
 	budgetRejects   int
 	replayRefuted   int
 	encodingRejects int
+	verifySecs      float64          // wall time inside the exact checker
 	wire            verify.WireStats // distributed runs only
 }
 
@@ -522,9 +531,11 @@ func syntheticAdmission(budget int) (mapping.VerifyFunc, *admissionStats) {
 			stats.replayRefuted++
 			return false, nil
 		}
+		t0 := time.Now()
 		res, err := verify.Slot(set, verify.Config{
 			NondetTies: true, SymmetryReduction: true, Workers: workers,
-			MaxStates: budget, Distributed: distRunner})
+			MaxStates: budget, Distributed: distRunner, DistTopology: distTopology})
+		stats.verifySecs += time.Since(t0).Seconds()
 		stats.statesExplored += res.States
 		stats.wire.Add(res.Wire)
 		if errors.Is(err, verify.ErrTooLarge) {
@@ -606,8 +617,12 @@ func runSynthetic(n int, seed int64, budget int, cachefile string) {
 	}
 	fmt.Printf("  first-fit: %d slots for %d applications (largest slot %d apps, %d slots with ≥8 apps) in %.1fs\n",
 		len(ff.Slots), len(ps), maxSlot, deep, time.Since(t1).Seconds())
-	fmt.Printf("  admission checks %d (%d served by cache), states explored %d\n",
-		ff.Verifications, ff.CacheHits, stats.statesExplored)
+	rate := 0
+	if stats.verifySecs > 0 {
+		rate = int(float64(stats.statesExplored) / stats.verifySecs)
+	}
+	fmt.Printf("  admission checks %d (%d served by cache), states explored %d, rate=%d states/s\n",
+		ff.Verifications, ff.CacheHits, stats.statesExplored, rate)
 	fmt.Printf("  rejects: %d by counterexample replay, %d by state budget (conservative), %d over the encoding cap\n",
 		stats.replayRefuted, stats.budgetRejects, stats.encodingRejects)
 	if stats.wire.RawBytes > 0 {

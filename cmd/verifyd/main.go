@@ -1,16 +1,20 @@
 // Command verifyd serves one worker node of the distributed verification
 // backend (internal/dverify). A coordinator — cmd/verifyslot or
 // cmd/experiments with -connect — dials a set of verifyd instances, ships
-// each a shard range of the packed state space, and drives the
-// level-synchronous BFS over them.
+// each a shard range of the packed state space, and drives the search over
+// them. In the default mesh topology the daemons also dial each other at
+// job setup (one data link per ordered node pair), so frontier batches
+// flow worker↔worker and never transit the coordinator.
 //
 // Usage:
 //
 //	verifyd -listen 127.0.0.1:9471 [-quiet]
 //
-// The daemon serves one coordinator session at a time (a worker node
-// belongs to one cluster at a time) and keeps accepting new sessions until
-// killed, so repeated CLI invocations reuse the same worker fleet.
+// The daemon keeps accepting sessions until killed, so repeated CLI
+// invocations reuse the same worker fleet. On SIGINT or SIGTERM it drains
+// gracefully: new connections and new jobs are refused while active
+// sessions — and the mesh links of their in-flight searches — run to
+// completion; a second signal forces an immediate exit.
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tightcps/internal/dverify"
 )
@@ -38,9 +44,23 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+	srv := dverify.NewServer(l, logf)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		logger.Printf("draining: refusing new sessions, waiting for active ones (signal again to force exit)")
+		go srv.Shutdown()
+		<-sigs
+		logger.Printf("forced exit")
+		os.Exit(1)
+	}()
+
 	logger.Printf("worker listening on %s", l.Addr())
-	if err := dverify.Serve(l, logf); err != nil {
+	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, "verifyd:", err)
 		os.Exit(1)
 	}
+	logger.Printf("drained; bye")
 }

@@ -6,16 +6,23 @@
 //
 //	verifyslot -apps C1,C5,C4,C3 [-bounded] [-ta] [-lazy] [-workers N]
 //	           [-maxstates N] [-nodes K | -connect host:port,host:port]
-//	           [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	           [-mesh=false] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The verdict is computed with the sharded parallel BFS, or — with -nodes
 // or -connect — with the distributed backend of internal/dverify: -nodes K
 // runs K in-process loopback workers, -connect drives cmd/verifyd daemons
-// over TCP. In distributed runs -maxstates is a per-node budget, so a
+// over TCP. Distributed runs default to the worker↔worker mesh topology
+// (direct node↔node frontier links, pipelined asynchronous levels);
+// -mesh=false falls back to the level-synchronous relay through the
+// coordinator. In distributed runs -maxstates is a per-node budget, so a
 // cluster of K workers admits slots up to K times larger than one node.
 // When a violation is found, the counterexample schedule is reconstructed
 // with a second, local sequential traced run (tracing needs deterministic
 // in-process parent pointers).
+//
+// The stats line reports rate=N states/s of the verification proper
+// (excluding profiling and counterexample reconstruction), so throughput
+// regressions — local or distributed — show up without the bench harness.
 //
 // -cpuprofile and -memprofile write pprof profiles of the verification —
 // the expansion core is the product's hot path, so regressions are
@@ -55,6 +62,7 @@ func run() int {
 	maxStates := flag.Int("maxstates", 0, "visited-state budget, per node when distributed (0 = 200M)")
 	nodes := flag.Int("nodes", 0, "distribute over K in-process loopback workers (0 = local verification)")
 	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
+	mesh := flag.Bool("mesh", true, "distributed topology: worker↔worker mesh with pipelined levels (false = level-synchronous coordinator relay)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the verification to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the verification to this file")
 	flag.Parse()
@@ -127,6 +135,9 @@ func run() int {
 	if *lazy {
 		cfg.Policy = sched.PreemptLazy
 	}
+	if !*mesh {
+		cfg.DistTopology = verify.TopologyRelay
+	}
 	ts, clusterDesc, err := dverify.Cluster(*nodes, *connect)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyslot:", err)
@@ -137,10 +148,16 @@ func run() int {
 		cfg.Distributed = dverify.Runner(ts)
 		fmt.Println(clusterDesc)
 	}
+	tv := time.Now()
 	res, err := verify.Slot(profs, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	verifySecs := time.Since(tv).Seconds()
+	rate := 0 // of the verification proper; the traced re-run replaces res
+	if verifySecs > 0 {
+		rate = int(float64(res.States) / verifySecs)
 	}
 	wire := res.Wire // the traced re-run below is local and would clear it
 	if !res.Schedulable {
@@ -157,8 +174,8 @@ func run() int {
 		}
 	}
 	fmt.Printf("slot %v: schedulable=%v\n", names, res.Schedulable)
-	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v (%.2fs)\n",
-		res.States, res.Transitions, res.Depth, res.Bounded, time.Since(t0).Seconds())
+	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v rate=%d states/s (%.2fs)\n",
+		res.States, res.Transitions, res.Depth, res.Bounded, rate, time.Since(t0).Seconds())
 	if wire.RawBytes > 0 {
 		fmt.Printf("  %s\n", wire.Report())
 	}

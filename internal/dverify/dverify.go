@@ -1,31 +1,47 @@
 // Package dverify distributes the slot-sharing verification of
-// internal/verify across worker nodes: a coordinator partitions the packed
-// state space by hash — each node owns a contiguous range of the 64 hash
-// shards — and drives a level-synchronous BFS in which every node expands
-// its own frontier through the shared expansion core and routes successor
-// states to their owners in batches (hash-routed frontier exchange), with a
-// barrier and violation short-circuit at every level boundary.
+// internal/verify across worker nodes: the packed state space is
+// partitioned by hash — each node owns a contiguous range of the 64 hash
+// shards — and every node expands its own frontier through the shared
+// expansion core, routing successor states to their owners.
 //
-// The exchange is bandwidth-engineered: every node suppresses states it
+// Two exchange topologies drive that partitioning (verify.Config.
+// DistTopology). The default mesh keeps the coordinator out of the data
+// path: workers hold one direct link per peer — in-process channels on a
+// loopback cluster, dial-out TCP connections negotiated at job setup for
+// verifyd fleets — and ship level-tagged successor batches straight to
+// their shard owners while the coordinator runs a thin control plane
+// (session setup, epoch accounting, violation short-circuit, result
+// aggregation). Levels are pipelined: a worker expands level L+1 states
+// as they arrive while peers still drain level L, with termination
+// detected from cluster-wide states-sent vs states-absorbed counts per
+// epoch (see mesh.go for the exactness invariants). The relay topology is
+// the level-synchronous fallback — every batch transits the coordinator
+// with a barrier per level — kept for wrapped transports and as the
+// comparison baseline.
+//
+// TCP links are bandwidth-engineered: every node suppresses states it
 // provably already routed to a destination (a fixed-size per-destination
 // recent-state filter — misses are safe, owners dedup on absorb) and
 // encodes each batch with a versioned codec (sorted varint-delta, DEFLATE
-// when it helps, fixed-width fallback; see proto.go). Wire-volume counters
-// flow back through Response into verify.Result.Wire.
+// when it helps, fixed-width fallback; see proto.go). Loopback mesh links
+// hand decoded batches over in memory and skip both. Wire-volume counters
+// — including per-link breakdowns on the mesh — flow back into
+// verify.Result.Wire.
 //
-// Both packed encodings flow through the same driver, so narrow and wide
-// slots verify with bit-identical semantics to the local searches: the
-// verdict always matches, exhaustively-searched (schedulable) runs report
-// the same state/transition/depth counts, and a violating run reports the
-// same minimal violator as the local parallel search (minimum violating
-// packed state of the first violating level).
+// Both packed encodings flow through the same drivers, so narrow and wide
+// slots verify with bit-identical semantics to the local searches on
+// either topology: the verdict always matches, exhaustively-searched
+// (schedulable) runs report the same state/transition/depth counts, and a
+// violating run reports the same minimal violator as the local parallel
+// search (minimum violating packed state of the first violating level).
 //
-// Communication goes through the Transport interface. Two implementations
-// exist: Loopback (in-process channel workers, for tests and single-machine
-// multi-worker runs) and the TCP/gob client returned by Dial, served by the
-// cmd/verifyd worker daemon. Config.MaxStates is a per-node budget in
-// distributed runs — it models per-node memory — so a cluster of k nodes
-// verifies slots up to k times larger than one node admits.
+// Coordinator communication goes through the Transport interface. Two
+// implementations exist: Loopback (in-process channel workers, for tests
+// and single-machine multi-worker runs) and the TCP/gob client returned
+// by Dial, served by the cmd/verifyd worker daemon. Config.MaxStates is a
+// per-node budget in distributed runs — it models per-node memory — so a
+// cluster of k nodes verifies slots up to k times larger than one node
+// admits.
 package dverify
 
 import (
@@ -61,7 +77,11 @@ type Transport interface {
 // the given worker nodes. The configuration is interpreted exactly like
 // verify.Slot's, except that Workers applies per node (unused — nodes
 // expand serially; parallelism comes from the cluster), MaxStates is a
-// per-node budget, and Trace is rejected.
+// per-node budget, and Trace is rejected. Config.DistTopology selects the
+// exchange: the default (TopologyAuto) runs the worker↔worker mesh with
+// pipelined levels whenever the transports support it — unwrapped
+// loopback or TCP clusters — and falls back to the level-synchronous
+// coordinator relay otherwise.
 func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport) (verify.Result, error) {
 	if len(nodes) < 1 || len(nodes) > maxNodes {
 		return verify.Result{}, fmt.Errorf("dverify: %d nodes (want 1..%d)", len(nodes), maxNodes)
@@ -93,7 +113,60 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		job.MaxStates = defaultMaxStates
 	}
 
-	res := verify.Result{Schedulable: true, Bounded: cfg.MaxDisturbances > 0}
+	switch cfg.DistTopology {
+	case verify.TopologyRelay:
+		return verifyRelay(job, nodes)
+	case verify.TopologyAuto, verify.TopologyMesh:
+		peers, ok := meshPeers(nodes)
+		if !ok {
+			if cfg.DistTopology == verify.TopologyMesh {
+				return verify.Result{}, errors.New("dverify: these transports cannot form a worker mesh (an unwrapped loopback or TCP cluster is required); use the relay topology")
+			}
+			return verifyRelay(job, nodes)
+		}
+		return verifyMesh(job, nodes, peers)
+	default:
+		return verify.Result{}, fmt.Errorf("dverify: unknown distributed topology %q", cfg.DistTopology)
+	}
+}
+
+// meshPeers reports whether the cluster's transports can carry direct
+// worker↔worker links, returning the peer address table for TCP clusters
+// (nil for loopback, whose links are in-process channels). A mesh needs
+// every transport to be an unwrapped loopback worker of one group, or an
+// unwrapped TCP connection whose dialed address peers can also reach.
+func meshPeers(nodes []Transport) (peers []string, ok bool) {
+	var g *loopGroup
+	var addrs []string
+	for _, t := range nodes {
+		switch tt := t.(type) {
+		case *loopTransport:
+			if addrs != nil {
+				return nil, false
+			}
+			if g == nil {
+				g = tt.group
+			} else if g != tt.group {
+				return nil, false
+			}
+		case *tcpTransport:
+			if g != nil {
+				return nil, false
+			}
+			addrs = append(addrs, tt.addr)
+		default:
+			return nil, false
+		}
+	}
+	return addrs, true
+}
+
+// verifyRelay is the level-synchronous topology: every frontier batch
+// transits the coordinator (KindStep collects per-destination batches,
+// KindAbsorb redistributes them), with a barrier and violation
+// short-circuit at every level boundary.
+func verifyRelay(job Job, nodes []Transport) (verify.Result, error) {
+	res := verify.Result{Schedulable: true, Bounded: job.MaxDisturbances > 0}
 	resps, err := fanout(nodes, func(i int) *Request {
 		j := job
 		j.NodeID = i

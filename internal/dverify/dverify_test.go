@@ -42,66 +42,88 @@ func verifyOver(t *testing.T, nodes int, ps []*switching.Profile, cfg verify.Con
 	return Verify(ps, cfg, ts)
 }
 
-// TestLoopbackMatchesLocal is the distributed-vs-local equivalence matrix
-// of the issue: 1/2/4 loopback nodes must produce bit-identical verdicts,
-// and — on exhaustively-searched (schedulable) sets — identical
-// state/transition/depth counts, on both encodings, at the n = 6/7/12
-// boundaries. On violations the minimal violator must match the local
-// parallel search (minimum violating packed state of the first violating
-// level).
-func TestLoopbackMatchesLocal(t *testing.T) {
-	cases := []struct {
-		name string
-		ps   []*switching.Profile
-		sym  bool
-		md   int // MaxDisturbances (0 = exact)
-	}{
-		{"single", []*switching.Profile{prof("A", 5, 2, 4, 20)}, false, 0},
-		{"overload2", []*switching.Profile{prof("A", 0, 3, 5, 20), prof("B", 0, 3, 5, 20)}, false, 0},
-		{"loosePair", []*switching.Profile{prof("A", 8, 2, 4, 40), prof("B", 8, 2, 4, 40)}, false, 0},
-		{"asymTriple", []*switching.Profile{prof("A", 2, 2, 3, 15), prof("B", 6, 2, 4, 25), prof("C", 9, 3, 5, 30)}, false, 0},
-		{"narrow6", fleet(6, 5, 2, 4, 20), false, 0},
-		// Wide-encoding cases. The unquotiented schedulable 7-app spaces run
-		// to millions of states, so the exhaustive-count checks ride the
-		// symmetry quotient (canonicalisation happens inside the shared
-		// expansion core, identically on every node) and the bounded mode
-		// (6 apps × 11-bit lanes no longer fit one word).
-		{"het7sym", append(fleet(6, 7, 1, 2, 8), prof("X", 4, 2, 3, 12)), true, 0},
-		{"fleet7sym", fleet(7, 6, 1, 2, 10), true, 0},
-		{"fleet9sym", fleet(9, 8, 1, 2, 9), true, 0},
-		{"wideBounded6", fleet(6, 5, 2, 4, 20), false, 2},
-		{"overload7", fleet(7, 2, 1, 2, 5), false, 0},
-		{"overload12", fleet(12, 1, 1, 2, 6), false, 0},
+// equivalenceCases is the distributed-vs-local matrix shared by the
+// topology tests: schedulable and violating sets on both encodings, at
+// the n = 6/7/12 boundaries, with and without the symmetry quotient.
+var equivalenceCases = []struct {
+	name string
+	ps   func() []*switching.Profile
+	sym  bool
+	md   int // MaxDisturbances (0 = exact)
+}{
+	{"single", func() []*switching.Profile { return []*switching.Profile{prof("A", 5, 2, 4, 20)} }, false, 0},
+	{"overload2", func() []*switching.Profile {
+		return []*switching.Profile{prof("A", 0, 3, 5, 20), prof("B", 0, 3, 5, 20)}
+	}, false, 0},
+	{"loosePair", func() []*switching.Profile {
+		return []*switching.Profile{prof("A", 8, 2, 4, 40), prof("B", 8, 2, 4, 40)}
+	}, false, 0},
+	{"asymTriple", func() []*switching.Profile {
+		return []*switching.Profile{prof("A", 2, 2, 3, 15), prof("B", 6, 2, 4, 25), prof("C", 9, 3, 5, 30)}
+	}, false, 0},
+	{"narrow6", func() []*switching.Profile { return fleet(6, 5, 2, 4, 20) }, false, 0},
+	// Wide-encoding cases. The unquotiented schedulable 7-app spaces run
+	// to millions of states, so the exhaustive-count checks ride the
+	// symmetry quotient (canonicalisation happens inside the shared
+	// expansion core, identically on every node) and the bounded mode
+	// (6 apps × 11-bit lanes no longer fit one word).
+	{"het7sym", func() []*switching.Profile { return append(fleet(6, 7, 1, 2, 8), prof("X", 4, 2, 3, 12)) }, true, 0},
+	{"fleet7sym", func() []*switching.Profile { return fleet(7, 6, 1, 2, 10) }, true, 0},
+	{"fleet9sym", func() []*switching.Profile { return fleet(9, 8, 1, 2, 9) }, true, 0},
+	{"wideBounded6", func() []*switching.Profile { return fleet(6, 5, 2, 4, 20) }, false, 2},
+	{"overload7", func() []*switching.Profile { return fleet(7, 2, 1, 2, 5) }, false, 0},
+	{"overload12", func() []*switching.Profile { return fleet(12, 1, 1, 2, 6) }, false, 0},
+}
+
+// checkMatchesLocal asserts one distributed result against the local
+// parallel search: bit-identical verdict; on exhaustively-searched
+// (schedulable) sets identical state/transition/depth counts; on
+// violations the same minimal violator (minimum violating packed state of
+// the first violating level) and the same first-violating-level depth.
+func checkMatchesLocal(t *testing.T, label string, dist, local verify.Result) {
+	t.Helper()
+	if dist.Schedulable != local.Schedulable {
+		t.Errorf("%s: schedulable=%v, local=%v", label, dist.Schedulable, local.Schedulable)
 	}
-	for _, tc := range cases {
+	if local.Schedulable {
+		if dist.States != local.States || dist.Transitions != local.Transitions || dist.Depth != local.Depth {
+			t.Errorf("%s: counts (%d,%d,%d), local (%d,%d,%d)", label,
+				dist.States, dist.Transitions, dist.Depth, local.States, local.Transitions, local.Depth)
+		}
+	} else {
+		if dist.Violator != local.Violator {
+			t.Errorf("%s: violator=%d, local parallel=%d", label, dist.Violator, local.Violator)
+		}
+		if dist.Depth != local.Depth {
+			t.Errorf("%s: violation depth=%d, local=%d", label, dist.Depth, local.Depth)
+		}
+	}
+	if dist.Bounded != local.Bounded {
+		t.Errorf("%s: bounded=%v, local=%v", label, dist.Bounded, local.Bounded)
+	}
+}
+
+// TestLoopbackMatchesLocal is the distributed-vs-local equivalence matrix
+// of the issue, run on both exchange topologies: 1/2/4 loopback nodes
+// must reproduce the local results bit-identically over the pipelined
+// mesh and over the level-synchronous relay.
+func TestLoopbackMatchesLocal(t *testing.T) {
+	for _, tc := range equivalenceCases {
+		ps := tc.ps()
 		cfg := verify.Config{NondetTies: true, SymmetryReduction: tc.sym, MaxDisturbances: tc.md, Workers: 4}
-		local, err := verify.Slot(tc.ps, cfg)
+		local, err := verify.Slot(ps, cfg)
 		if err != nil {
 			t.Fatalf("%s: local: %v", tc.name, err)
 		}
-		for _, nodes := range []int{1, 2, 4} {
-			dist, err := verifyOver(t, nodes, tc.ps, cfg)
-			if err != nil {
-				t.Fatalf("%s: nodes=%d: %v", tc.name, nodes, err)
-			}
-			if dist.Schedulable != local.Schedulable {
-				t.Errorf("%s: nodes=%d schedulable=%v, local=%v", tc.name, nodes, dist.Schedulable, local.Schedulable)
-			}
-			if local.Schedulable {
-				if dist.States != local.States || dist.Transitions != local.Transitions || dist.Depth != local.Depth {
-					t.Errorf("%s: nodes=%d counts (%d,%d,%d), local (%d,%d,%d)", tc.name, nodes,
-						dist.States, dist.Transitions, dist.Depth, local.States, local.Transitions, local.Depth)
+		for _, topo := range []verify.DistTopology{verify.TopologyMesh, verify.TopologyRelay} {
+			cfg := cfg
+			cfg.DistTopology = topo
+			for _, nodes := range []int{1, 2, 4} {
+				dist, err := verifyOver(t, nodes, ps, cfg)
+				if err != nil {
+					t.Fatalf("%s: %s nodes=%d: %v", tc.name, topo, nodes, err)
 				}
-			} else {
-				if dist.Violator != local.Violator {
-					t.Errorf("%s: nodes=%d violator=%d, local parallel=%d", tc.name, nodes, dist.Violator, local.Violator)
-				}
-				if dist.Depth != local.Depth {
-					t.Errorf("%s: nodes=%d violation depth=%d, local=%d", tc.name, nodes, dist.Depth, local.Depth)
-				}
-			}
-			if dist.Bounded != local.Bounded {
-				t.Errorf("%s: nodes=%d bounded=%v, local=%v", tc.name, nodes, dist.Bounded, local.Bounded)
+				checkMatchesLocal(t, fmt.Sprintf("%s: %s nodes=%d", tc.name, topo, nodes), dist, local)
 			}
 		}
 	}
@@ -143,8 +165,12 @@ func TestPerNodeBudgetScalesCapacity(t *testing.T) {
 	if _, err := verify.Slot(ps, cfg); !errors.Is(err, verify.ErrTooLarge) {
 		t.Fatalf("local run under budget %d: want ErrTooLarge, got %v", cfg.MaxStates, err)
 	}
-	if _, err := verifyOver(t, 1, ps, cfg); !errors.Is(err, verify.ErrTooLarge) {
+	busted, err := verifyOver(t, 1, ps, cfg)
+	if !errors.Is(err, verify.ErrTooLarge) {
 		t.Fatalf("1-node run under budget %d: want ErrTooLarge, got %v", cfg.MaxStates, err)
+	}
+	if busted.States == 0 {
+		t.Fatalf("budget-busted run reported no partial exploration (want States > 0 like the local search)")
 	}
 	dist, err := verifyOver(t, 4, ps, cfg)
 	if err != nil {

@@ -1,19 +1,28 @@
 package dverify
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tightcps/internal/verify"
+)
 
 // Loopback returns transports to n in-process worker nodes, each served by
 // its own goroutine over unbuffered channels. It is the test and
-// single-machine form of the cluster: the protocol, partitioning and level
-// barriers are exactly those of the TCP transport, with channel handoff in
-// place of gob framing. Close the transports (dverify.Close) to stop the
-// worker goroutines.
+// single-machine form of the cluster: protocol, partitioning and the mesh
+// exchange are exactly those of the TCP transport, with channel handoff in
+// place of gob framing — mesh links push decoded state batches straight
+// into the peer's inbox, so loopback clusters pay no codec cost. Close the
+// transports (dverify.Close) to stop the worker goroutines.
 func Loopback(n int) []Transport {
+	g := &loopGroup{sessions: map[uint64]*loopSession{}}
 	ts := make([]Transport, n)
 	for i := range ts {
 		lt := &loopTransport{
-			req:  make(chan *Request),
-			resp: make(chan *Response),
+			group: g,
+			req:   make(chan *Request),
+			resp:  make(chan *Response),
 		}
 		go lt.serve()
 		ts[i] = lt
@@ -21,18 +30,144 @@ func Loopback(n int) []Transport {
 	return ts
 }
 
+// loopGroup is the in-process mesh rendezvous shared by one Loopback
+// cluster: workers register their inboxes per session at Init and resolve
+// peers through it. The hooks inject link faults and delivery interleavings
+// for tests; they are copied into sessions created after they are set.
+type loopGroup struct {
+	mu       sync.Mutex
+	sessions map[uint64]*loopSession
+
+	// failSend, when non-nil, may veto a link send (simulating a broken
+	// worker↔worker connection).
+	failSend func(from, to int) error
+	// deliver, when non-nil, intercepts a link delivery; it may delay or
+	// reorder by calling push later (from any goroutine). Returning false
+	// falls back to direct delivery.
+	deliver func(from, to int, b meshBatch, push func(meshBatch)) bool
+}
+
+// loopSession is one run's worth of registered worker inboxes.
+type loopSession struct {
+	g        *loopGroup
+	id       uint64
+	inboxes  []*meshInbox
+	refs     int
+	failSend func(from, to int) error
+	deliver  func(from, to int, b meshBatch, push func(meshBatch)) bool
+}
+
+// join registers a node's inbox in the session (creating it on first use).
+func (g *loopGroup) join(job *Job, inbox *meshInbox) (*loopSession, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.sessions[job.Session]
+	if s == nil {
+		s = &loopSession{
+			g:        g,
+			id:       job.Session,
+			inboxes:  make([]*meshInbox, job.NumNodes),
+			failSend: g.failSend,
+			deliver:  g.deliver,
+		}
+		g.sessions[job.Session] = s
+	}
+	if len(s.inboxes) != job.NumNodes {
+		return nil, fmt.Errorf("dverify: session %#x sized for %d nodes, node %d expects %d",
+			job.Session, len(s.inboxes), job.NodeID, job.NumNodes)
+	}
+	if s.inboxes[job.NodeID] != nil {
+		return nil, fmt.Errorf("dverify: node %d already registered in session %#x", job.NodeID, job.Session)
+	}
+	s.inboxes[job.NodeID] = inbox
+	s.refs++
+	return s, nil
+}
+
+// leave drops a node's registration, deleting the session with the last.
+func (s *loopSession) leave(id int) {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	s.inboxes[id] = nil
+	if s.refs--; s.refs == 0 {
+		delete(s.g.sessions, s.id)
+	}
+}
+
+// peer resolves a destination inbox.
+func (s *loopSession) peer(to int) *meshInbox {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	return s.inboxes[to]
+}
+
+// loopLink is one directed in-process mesh link: a push into the peer's
+// inbox, no serialization. Reported bytes are the raw fixed-width volume
+// (nothing is encoded, so nothing is saved beyond the sender filter).
+type loopLink struct {
+	sess     *loopSession
+	from, to int
+	words    int
+}
+
+func (l *loopLink) send(level int, states []verify.PackedState) (int, error) {
+	if hook := l.sess.failSend; hook != nil {
+		if err := hook(l.from, l.to); err != nil {
+			return 0, err
+		}
+	}
+	ib := l.sess.peer(l.to)
+	if ib == nil {
+		return 0, fmt.Errorf("peer node %d is not registered in this session", l.to)
+	}
+	b := meshBatch{from: l.from, level: level, states: states}
+	bytes := 8 * l.words * len(states)
+	if hook := l.sess.deliver; hook != nil && hook(l.from, l.to, b, ib.push) {
+		return bytes, nil
+	}
+	ib.push(b)
+	return bytes, nil
+}
+
+// wantFilter declines the sender filter: an in-process push ships no
+// bytes, so suppressing duplicates costs more than the owner's dedup.
+func (l *loopLink) wantFilter() bool { return false }
+
+func (l *loopLink) close() error { return nil }
+
+// loopEnv wires a loopback worker into its group's session registry.
+type loopEnv struct{ g *loopGroup }
+
+func (e loopEnv) connect(job *Job, inbox *meshInbox, exp *verify.Expander) ([]meshLink, func(), error) {
+	sess, err := e.g.join(job, inbox)
+	if err != nil {
+		return nil, nil, err
+	}
+	links := make([]meshLink, job.NumNodes)
+	for d := range links {
+		if d != job.NodeID {
+			links[d] = &loopLink{sess: sess, from: job.NodeID, to: d, words: exp.StateWords()}
+		}
+	}
+	id := job.NodeID
+	return links, func() { sess.leave(id) }, nil
+}
+
 // loopTransport is one coordinator↔goroutine link. Call and Close must not
 // race each other (the coordinator is strictly sequential per transport).
 type loopTransport struct {
+	group  *loopGroup
 	req    chan *Request
 	resp   chan *Response
 	closed bool
 }
 
 // serve is the worker goroutine: one handler per transport lifetime,
-// serving requests until Close shuts the request channel.
+// serving requests until Close shuts the request channel. Any live mesh
+// worker is torn down on exit so its session registration never leaks.
 func (lt *loopTransport) serve() {
-	var h handler
+	h := handler{env: loopEnv{lt.group}}
+	defer h.reset()
 	for req := range lt.req {
 		lt.resp <- h.handle(req)
 	}

@@ -1,0 +1,943 @@
+package dverify
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// Mesh topology: the data plane of the distributed search without the
+// coordinator in it. Workers hold one direct link per peer (channels for
+// loopback clusters, dial-out TCP for verifyd fleets) and route successor
+// batches straight to their shard owners; the coordinator is a thin
+// control plane that polls counter snapshots, publishes level milestones
+// and detects termination by epoch accounting (cluster-wide states sent
+// vs absorbed per level).
+//
+// Levels are pipelined, not barriered: a worker expands level L+1 states
+// as they arrive while peers are still draining level L. Exactness — the
+// same verdict, exhaustive counts, depth and minimal violator as the
+// local searches — is preserved by one commit rule: a state tagged with
+// level t may enter the visited set only once every level ≤ t−1 is
+// *final* (all states committed and all tagged-≤(t−1) messages absorbed).
+// Under that rule a freshly committed state's tag always equals its true
+// BFS level (a shorter path would mean the state was already committed
+// when its earlier level was finalized), so per-level counts, Depth and
+// the first-violating-level minimum-violator tie-break are bit-identical
+// to the level-synchronous searches. Arrivals ahead of the rule are
+// deferred, bounding the pipeline to one level of lookahead — the price
+// of exactness, and exactly the overlap a barrier forbids.
+//
+// The coordinator advances two milestones from each epoch's snapshots:
+//
+//	final(L): done(L−1) ∧ Σ sent[L] == Σ recv[L]   (membership final)
+//	done(L):  final(L) ∧ every worker drained ≤ L  (fully expanded)
+//
+// Both are evaluated over cumulative, monotone counters from one poll
+// round, so a lagging message can only delay a milestone, never fake
+// one. Termination: a violation is final once done reaches its level; a
+// schedulable run ends when every worker is idle and the sent/recv sums
+// match at every level (Mattern-style quiescence — any in-flight state
+// leaves the sums unequal).
+
+// meshChunk is how many states a worker expands between inbox drains and
+// control checks; meshPollBudget caps how long a busy worker holds a poll
+// before answering with an interim snapshot; meshIdleWait caps how long
+// an idle worker waits for data before answering an unchanged snapshot;
+// meshBatchTarget is the flush threshold of per-destination send buffers.
+const (
+	meshChunk       = 1024
+	meshPollBudget  = 25 * time.Millisecond
+	meshIdleWait    = 20 * time.Millisecond
+	meshBatchTarget = 4096
+)
+
+// meshBatch is one level-tagged batch of decoded states crossing a mesh
+// link, or a link failure surfaced into the owner's inbox.
+type meshBatch struct {
+	from   int
+	level  int
+	states []verify.PackedState
+	err    error
+}
+
+// meshInbox is a worker's unbounded, mutex-guarded receive queue. Senders
+// never block (so two workers flooding each other cannot deadlock) and
+// nudge the notify channel so an idle owner wakes.
+type meshInbox struct {
+	mu     sync.Mutex
+	q      []meshBatch
+	notify chan struct{}
+}
+
+func newMeshInbox() *meshInbox {
+	return &meshInbox{notify: make(chan struct{}, 1)}
+}
+
+func (ib *meshInbox) push(b meshBatch) {
+	ib.mu.Lock()
+	ib.q = append(ib.q, b)
+	ib.mu.Unlock()
+	select {
+	case ib.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain swaps the queue out against spare, returning the pending batches.
+func (ib *meshInbox) drain(spare []meshBatch) []meshBatch {
+	ib.mu.Lock()
+	out := ib.q
+	ib.q = spare[:0]
+	ib.mu.Unlock()
+	return out
+}
+
+// batchPool recycles state slices between senders, receivers and level
+// buckets, keeping the steady-state mesh allocation-light.
+var batchPool sync.Pool
+
+func getBatch() []verify.PackedState {
+	if b, _ := batchPool.Get().([]verify.PackedState); b != nil {
+		return b[:0]
+	}
+	return make([]verify.PackedState, 0, meshBatchTarget)
+}
+
+func putBatch(b []verify.PackedState) {
+	if cap(b) > 0 {
+		batchPool.Put(b[:0])
+	}
+}
+
+// meshLink is one directed data link to a peer. send takes ownership of
+// states and returns the bytes shipped (raw width on loopback, encoded
+// batch size on TCP). wantFilter reports whether the sender-side
+// recent-state filter pays on this link: probing costs more than the
+// receiver-side dedup it saves when no real wire is crossed, so loopback
+// links decline it and TCP links (where every state costs bytes) take it.
+type meshLink interface {
+	send(level int, states []verify.PackedState) (int, error)
+	wantFilter() bool
+	close() error
+}
+
+// meshEnv wires a worker into its cluster's data plane: the loopback
+// group registry or the TCP host (register own inbox, dial peers).
+type meshEnv interface {
+	connect(job *Job, inbox *meshInbox, exp *verify.Expander) (links []meshLink, cleanup func(), err error)
+}
+
+// meshWorker is one node of the mesh search. It is single-goroutine: the
+// transport's serve loop calls Init/Poll, and all search state is touched
+// only from those calls (peer readers touch nothing but the inbox).
+type meshWorker struct {
+	id, n   int
+	exp     *verify.Expander
+	words   int
+	budget  int
+	visited *verify.StateSet
+	esc     *verify.ExpandScratch
+	succ    []verify.PackedState
+
+	inbox   *meshInbox
+	spareQ  []meshBatch
+	links   []meshLink
+	filters []sendFilter
+	cleanup func()
+
+	// Level-indexed search state. buckets[l][:cursors[l]] is expanded;
+	// pending holds batches deferred by the commit rule (tag > final+1) —
+	// whole slices, ownership transferred, so deferral never copies.
+	buckets  [][]verify.PackedState
+	cursors  []int
+	pending  [][][]verify.PackedState
+	freshAt  []int // fresh commits per level (set pre-sizing)
+	final    int   // highest level known final (coordinator-published)
+	outBuf   [][]verify.PackedState
+	outLevel int // tag of the buffered sends (expand level + 1)
+
+	// Cumulative accounting, snapshotted into every poll response.
+	sentByLevel []int
+	recvByLevel []int
+	fresh       int
+	transitions int
+	maxFresh    int
+	routed      int
+	filtered    int
+	wireBytes   int
+	linkStates  []int
+	linkBytes   []int
+	tooLarge    bool
+	err         error
+
+	// Own minimum violation (reported) and the skip bound (own merged
+	// with the coordinator's broadcast; never reported back).
+	haveViol   bool
+	violLevel  int
+	violState  verify.PackedState
+	violApp    int
+	haveBound  bool
+	boundLevel int
+	boundState verify.PackedState
+
+	finished bool
+	waitT    *time.Timer
+	lastSnap meshDigest
+	haveSnap bool
+}
+
+// meshDigest summarizes a snapshot for the long-poll "news" check: a
+// worker answers an outstanding poll as soon as its digest moves.
+type meshDigest struct {
+	fresh, transitions, routed, filtered int
+	sent, recv, pendingN                 int
+	drained, maxFresh                    int
+	idle, tooLarge, haveErr, haveViol    bool
+	violLevel                            int
+	violState                            verify.PackedState
+}
+
+// newMeshWorker builds a node for a mesh job and wires its data links
+// through env, seeding the initial state on its owner.
+func newMeshWorker(job *Job, env meshEnv) (*meshWorker, *Response, error) {
+	if job.Proto != protoVersion {
+		return nil, nil, fmt.Errorf("dverify: coordinator speaks protocol %d, this worker speaks %d (rebuild the older side)",
+			job.Proto, protoVersion)
+	}
+	if job.NumNodes < 1 || job.NodeID < 0 || job.NodeID >= job.NumNodes {
+		return nil, nil, fmt.Errorf("dverify: node %d of %d is not a valid placement", job.NodeID, job.NumNodes)
+	}
+	profs := make([]*switching.Profile, len(job.Profiles))
+	for i := range job.Profiles {
+		profs[i] = &job.Profiles[i]
+	}
+	exp, err := verify.NewExpander(profs, verify.Config{
+		MaxDisturbances:   job.MaxDisturbances,
+		Policy:            job.Policy,
+		NondetTies:        job.NondetTies,
+		SymmetryReduction: job.SymmetryReduction,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	budget := job.MaxStates
+	if budget <= 0 {
+		budget = defaultMaxStates
+	}
+	w := &meshWorker{
+		id:         job.NodeID,
+		n:          job.NumNodes,
+		exp:        exp,
+		words:      exp.StateWords(),
+		budget:     budget,
+		visited:    exp.NewSet(1 << 16),
+		esc:        exp.NewScratch(),
+		inbox:      newMeshInbox(),
+		filters:    make([]sendFilter, job.NumNodes),
+		outBuf:     make([][]verify.PackedState, job.NumNodes),
+		linkStates: make([]int, job.NumNodes),
+		linkBytes:  make([]int, job.NumNodes),
+		outLevel:   -1,
+		violApp:    -1,
+	}
+	for d := range w.outBuf {
+		if d != w.id {
+			w.outBuf[d] = getBatch()
+		}
+	}
+	links, cleanup, err := env.connect(job, w.inbox, exp)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.links, w.cleanup = links, cleanup
+	for d, l := range links {
+		if d != w.id && l != nil && l.wantFilter() {
+			w.filters[d] = newSendFilter()
+		}
+	}
+	resp := &Response{Proto: protoVersion, ViolApp: -1}
+	if init := exp.Initial(); owner(exp.Hash(init), w.n) == w.id {
+		w.ensureLevel(0)
+		w.visited.Add(init)
+		w.buckets[0] = append(w.buckets[0], init)
+		w.fresh, resp.Fresh, resp.Next = 1, 1, 1
+	}
+	return w, resp, nil
+}
+
+// ensureLevel grows the level-indexed slices to hold level l.
+func (w *meshWorker) ensureLevel(l int) {
+	for len(w.buckets) <= l {
+		w.buckets = append(w.buckets, nil)
+		w.cursors = append(w.cursors, 0)
+		w.pending = append(w.pending, nil)
+		w.freshAt = append(w.freshAt, 0)
+		w.sentByLevel = append(w.sentByLevel, 0)
+		w.recvByLevel = append(w.recvByLevel, 0)
+	}
+}
+
+// absorb applies the commit rule to a level-tagged batch, taking
+// ownership of the slice: levels ≤ final+1 enter the visited set (fresh
+// states join their bucket) and the slice is recycled; later tags defer
+// the whole slice uncopied; levels beyond the violation bound are dropped
+// (they can never reach the verdict).
+func (w *meshWorker) absorb(level int, states []verify.PackedState) {
+	if w.haveBound && level > w.boundLevel {
+		putBatch(states)
+		return
+	}
+	w.ensureLevel(level)
+	if level > w.final+1 {
+		w.pending[level] = append(w.pending[level], states)
+		return
+	}
+	w.visited.Reserve(len(states))
+	for _, s := range states {
+		w.commit1(level, s, w.exp.Hash(s))
+		if w.tooLarge {
+			return
+		}
+	}
+	putBatch(states)
+}
+
+// commit1 commits a single state under the same rule as absorb. h must be
+// the expander's hash of s (expansion already computed it for routing, so
+// the visited probe never mixes twice).
+func (w *meshWorker) commit1(level int, s verify.PackedState, h uint64) {
+	if w.tooLarge || (w.haveBound && level > w.boundLevel) {
+		return
+	}
+	w.ensureLevel(level)
+	if level > w.final+1 {
+		lst := w.pending[level]
+		if n := len(lst); n == 0 || len(lst[n-1]) == cap(lst[n-1]) {
+			lst = append(lst, getBatch())
+		}
+		lst[len(lst)-1] = append(lst[len(lst)-1], s)
+		w.pending[level] = lst
+		return
+	}
+	if w.visited.AddHashed(s, h) {
+		if w.visited.Len() > w.budget {
+			w.tooLarge = true
+			return
+		}
+		if len(w.buckets[level]) == 0 && cap(w.buckets[level]) == 0 {
+			w.buckets[level] = w.newBucket(level)
+		}
+		w.buckets[level] = append(w.buckets[level], s)
+		w.fresh++
+		w.freshAt[level]++
+		if level > w.maxFresh {
+			w.maxFresh = level
+		}
+	}
+}
+
+// newBucket sizes a level's frontier bucket from the previous level's
+// fresh count, so big levels fill without repeated growth copies.
+func (w *meshWorker) newBucket(level int) []verify.PackedState {
+	if level > 0 && w.freshAt[level-1] > meshBatchTarget {
+		n := w.freshAt[level-1] + w.freshAt[level-1]/4
+		return make([]verify.PackedState, 0, n)
+	}
+	return getBatch()
+}
+
+// setFinal raises the node's final-level knowledge, releasing deferred
+// commits level by ascending level (the order the commit-rule proof
+// relies on: pending level L+1 flushes only once level L is final).
+func (w *meshWorker) setFinal(f int) {
+	for w.final < f {
+		w.final++
+		l := w.final + 1
+		if l < len(w.pending) && len(w.pending[l]) > 0 {
+			batches := w.pending[l]
+			w.pending[l] = nil
+			for _, b := range batches {
+				w.absorb(l, b)
+			}
+		}
+	}
+}
+
+// noteViol records a violation found while expanding one of this node's
+// bucket states, keeping the (level, state) minimum.
+func (w *meshWorker) noteViol(level int, s verify.PackedState, app int) {
+	if !w.haveViol || level < w.violLevel || (level == w.violLevel && verify.LessState(s, w.violState)) {
+		w.haveViol, w.violLevel, w.violState, w.violApp = true, level, s, app
+	}
+	w.noteBound(level, s)
+}
+
+// noteBound tightens the skip bound (own findings merged with the
+// coordinator's broadcast) and drops work that can no longer matter.
+func (w *meshWorker) noteBound(level int, s verify.PackedState) {
+	if w.haveBound && (w.boundLevel < level || (w.boundLevel == level && verify.LessState(w.boundState, s))) {
+		return
+	}
+	w.haveBound, w.boundLevel, w.boundState = true, level, s
+	for l := level + 1; l < len(w.buckets); l++ {
+		if len(w.buckets[l]) > 0 {
+			w.cursors[l] = len(w.buckets[l])
+		}
+		for _, b := range w.pending[l] {
+			putBatch(b)
+		}
+		w.pending[l] = nil
+	}
+}
+
+// drainInbox absorbs everything queued on the node's mesh links.
+func (w *meshWorker) drainInbox() {
+	batches := w.inbox.drain(w.spareQ)
+	for i := range batches {
+		b := &batches[i]
+		if b.err != nil {
+			if w.err == nil {
+				w.err = b.err
+			}
+			continue
+		}
+		w.ensureLevel(b.level)
+		w.recvByLevel[b.level] += len(b.states)
+		w.absorb(b.level, b.states)
+		b.states = nil
+	}
+	w.spareQ = batches[:0]
+}
+
+// expandable returns the lowest level with unexpanded committed work,
+// skipping (and marking drained) levels beyond the violation bound.
+func (w *meshWorker) expandable() int {
+	for l := range w.buckets {
+		if w.cursors[l] < len(w.buckets[l]) {
+			if w.haveBound && l > w.boundLevel {
+				w.cursors[l] = len(w.buckets[l])
+				continue
+			}
+			return l
+		}
+	}
+	return -1
+}
+
+// expandChunk expands up to n states from the lowest available bucket,
+// routing foreign successors over the mesh and committing self-owned ones
+// locally. Returns false when no work was available.
+func (w *meshWorker) expandChunk(n int) bool {
+	l := w.expandable()
+	if l < 0 {
+		return false
+	}
+	if w.outLevel != l+1 {
+		w.flushOut()
+		w.outLevel = l + 1
+		// Pre-size the visited partition for the coming level from the
+		// fresh-state trajectory (the local drivers' levelReserve
+		// heuristic), so commits inside a level rarely rehash.
+		est := w.freshAt[l]
+		if l > 0 && w.freshAt[l-1] > 0 {
+			est = w.freshAt[l] * w.freshAt[l] / w.freshAt[l-1]
+			if max := 8 * w.freshAt[l]; est > max {
+				est = max
+			}
+		}
+		w.visited.Reserve(est)
+	}
+	for i := 0; i < n && w.cursors[l] < len(w.buckets[l]); i++ {
+		if w.tooLarge {
+			return true
+		}
+		s := w.buckets[l][w.cursors[l]]
+		w.cursors[l]++
+		if w.haveBound && l == w.boundLevel && verify.LessState(w.boundState, s) {
+			continue
+		}
+		succ, violApp := w.exp.SuccessorsInto(s, w.esc, w.succ[:0])
+		w.succ = succ[:0]
+		if violApp >= 0 {
+			w.noteViol(l, s, violApp)
+			continue
+		}
+		w.transitions += len(succ)
+		if w.haveBound && l+1 > w.boundLevel {
+			continue // successors beyond the verdict level
+		}
+		for _, ns := range succ {
+			h := w.exp.Hash(ns)
+			if dst := owner(h, w.n); dst != w.id {
+				if w.filters[dst].slots != nil && w.filters[dst].seen(ns, h) {
+					w.filtered++
+				} else {
+					w.outBuf[dst] = append(w.outBuf[dst], ns)
+					if len(w.outBuf[dst]) >= meshBatchTarget {
+						w.flushDest(dst)
+					}
+				}
+			} else {
+				w.commit1(l+1, ns, h)
+			}
+		}
+	}
+	if w.cursors[l] == len(w.buckets[l]) && len(w.buckets[l]) > 0 && l <= w.final {
+		// The bucket is drained and — level final — can never refill:
+		// recycle it so resident memory tracks the frontier, not the
+		// whole visited set.
+		putBatch(w.buckets[l])
+		w.buckets[l] = w.buckets[l][:0:0]
+		w.cursors[l] = 0
+	}
+	return true
+}
+
+// flushDest ships one destination's buffered successors as a level-tagged
+// batch, updating the epoch and wire accounting.
+func (w *meshWorker) flushDest(d int) {
+	states := w.outBuf[d]
+	if len(states) == 0 {
+		return
+	}
+	w.outBuf[d] = getBatch()
+	n, level := len(states), w.outLevel
+	w.ensureLevel(level)
+	w.sentByLevel[level] += n
+	w.routed += n
+	w.linkStates[d] += n
+	bytes, err := w.links[d].send(level, states)
+	w.wireBytes += bytes
+	w.linkBytes[d] += bytes
+	if err != nil && w.err == nil {
+		w.err = fmt.Errorf("mesh link to node %d: %v", d, err)
+	}
+}
+
+// flushOut ships every buffered destination batch.
+func (w *meshWorker) flushOut() {
+	if w.outLevel < 0 {
+		return
+	}
+	for d := range w.outBuf {
+		if d != w.id {
+			w.flushDest(d)
+		}
+	}
+}
+
+// drained computes the highest level L with every bucket ≤ L expanded,
+// capped at final+1 (deeper buckets may still be refilled by peers).
+func (w *meshWorker) drained() int {
+	d := -1
+	for l := 0; l <= w.final+1; l++ {
+		if l < len(w.buckets) && w.cursors[l] < len(w.buckets[l]) {
+			if !(w.haveBound && l > w.boundLevel) {
+				break
+			}
+		}
+		d = l
+	}
+	return d
+}
+
+// idle reports quiescence under the node's current milestone knowledge.
+func (w *meshWorker) idle() bool {
+	if w.expandable() >= 0 {
+		return false
+	}
+	for d, b := range w.outBuf {
+		if d != w.id && len(b) > 0 {
+			return false
+		}
+	}
+	for l, lst := range w.pending {
+		if len(lst) > 0 && !(w.haveBound && l > w.boundLevel) {
+			return false
+		}
+	}
+	w.inbox.mu.Lock()
+	empty := len(w.inbox.q) == 0
+	w.inbox.mu.Unlock()
+	return empty
+}
+
+// digest captures the snapshot fields the long-poll news check compares.
+func (w *meshWorker) digest() meshDigest {
+	pendingN := 0
+	for _, lst := range w.pending {
+		for _, b := range lst {
+			pendingN += len(b)
+		}
+	}
+	sent, recv := 0, 0
+	for l := range w.sentByLevel {
+		sent += w.sentByLevel[l]
+		recv += w.recvByLevel[l]
+	}
+	return meshDigest{
+		fresh: w.fresh, transitions: w.transitions, routed: w.routed, filtered: w.filtered,
+		sent: sent, recv: recv, pendingN: pendingN,
+		drained: w.drained(), maxFresh: w.maxFresh,
+		idle: w.idle(), tooLarge: w.tooLarge, haveErr: w.err != nil, haveViol: w.haveViol,
+		violLevel: w.violLevel, violState: w.violState,
+	}
+}
+
+// snapshot builds a poll response from the cumulative counters.
+func (w *meshWorker) snapshot() *Response {
+	resp := &Response{
+		Proto:       protoVersion,
+		SentByLevel: append([]int(nil), w.sentByLevel...),
+		RecvByLevel: append([]int(nil), w.recvByLevel...),
+		Drained:     w.drained(),
+		Idle:        w.idle(),
+		MaxFresh:    w.maxFresh,
+		Fresh:       w.fresh,
+		Transitions: w.transitions,
+		Routed:      w.routed,
+		Filtered:    w.filtered,
+		RawBytes:    8 * w.words * (w.routed + w.filtered),
+		WireBytes:   w.wireBytes,
+		TooLarge:    w.tooLarge,
+		ViolApp:     -1,
+	}
+	if w.err != nil {
+		resp.Err = w.err.Error()
+	}
+	if w.haveViol {
+		resp.Viol = true
+		resp.ViolLevel, resp.ViolState, resp.ViolApp = w.violLevel, w.violState, w.violApp
+	}
+	for d := range w.linkStates {
+		if d != w.id && (w.linkStates[d] > 0 || w.linkBytes[d] > 0) {
+			resp.Links = append(resp.Links, verify.LinkWire{
+				From: w.id, To: d, States: w.linkStates[d], Bytes: w.linkBytes[d],
+			})
+		}
+	}
+	w.lastSnap, w.haveSnap = w.digest(), true
+	return resp
+}
+
+// poll is one control-plane epoch on the worker side: absorb the
+// coordinator's milestone knowledge, then expand and exchange until there
+// is news (or the poll budget runs out), and answer with a snapshot.
+func (w *meshWorker) poll(ctl *Control) *Response {
+	if ctl != nil {
+		if ctl.Finish {
+			w.shutdown()
+			return w.snapshot()
+		}
+		w.setFinal(ctl.Final)
+		if ctl.HaveViol {
+			w.noteBound(ctl.ViolLevel, ctl.ViolState)
+		}
+	}
+	if w.finished {
+		return w.snapshot()
+	}
+	deadline := time.Now().Add(meshPollBudget)
+	for {
+		w.drainInbox()
+		if w.err != nil || w.tooLarge {
+			break
+		}
+		if w.haveViol && (!w.haveSnap || !w.lastSnap.haveViol ||
+			w.violLevel != w.lastSnap.violLevel || w.violState != w.lastSnap.violState) {
+			break // a new minimum violation is always news
+		}
+		if !w.expandChunk(meshChunk) {
+			w.flushOut()
+			if !w.haveSnap || w.digest() != w.lastSnap {
+				break
+			}
+			if !w.waitData(deadline) {
+				break
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			w.flushOut()
+			break
+		}
+	}
+	return w.snapshot()
+}
+
+// waitData blocks until a mesh batch arrives or the poll deadline passes,
+// reporting whether it is worth looping again.
+func (w *meshWorker) waitData(deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	if d > meshIdleWait {
+		d = meshIdleWait
+	}
+	if w.waitT == nil {
+		w.waitT = time.NewTimer(d)
+	} else {
+		w.waitT.Reset(d)
+	}
+	select {
+	case <-w.inbox.notify:
+		if !w.waitT.Stop() {
+			select {
+			case <-w.waitT.C:
+			default:
+			}
+		}
+		return true
+	case <-w.waitT.C:
+		return false
+	}
+}
+
+// shutdown tears the node's data plane down (idempotent): links closed,
+// registry entry released.
+func (w *meshWorker) shutdown() {
+	if w.finished {
+		return
+	}
+	w.finished = true
+	for _, l := range w.links {
+		if l != nil {
+			l.close()
+		}
+	}
+	if w.cleanup != nil {
+		w.cleanup()
+	}
+}
+
+// meshTracker is the coordinator's milestone state over one mesh run. It
+// is pure bookkeeping (no I/O), so the epoch/termination invariants are
+// unit-testable against adversarial snapshot interleavings.
+type meshTracker struct {
+	n           int
+	final       int // highest level with final membership everywhere
+	done        int // highest level fully expanded everywhere
+	sent, recv  []int
+	drained     []int
+	idle        []bool
+	maxLevel    int
+	maxFresh    int
+	fresh       int
+	transitions int
+	tooLarge    bool
+	haveViol    bool
+	violLevel   int
+	violState   verify.PackedState
+	violApp     int
+	wire        verify.WireStats
+}
+
+func newMeshTracker(n int) *meshTracker {
+	return &meshTracker{n: n, final: 0, done: -1, drained: make([]int, n), idle: make([]bool, n), violApp: -1}
+}
+
+// observe folds one full poll round into the tracker. Counters are
+// cumulative, so the round replaces (never accumulates) totals.
+func (t *meshTracker) observe(resps []*Response) {
+	t.sent = t.sent[:0]
+	t.recv = t.recv[:0]
+	t.fresh, t.transitions, t.maxFresh = 0, 0, 0
+	t.wire = verify.WireStats{}
+	for i, r := range resps {
+		t.drained[i] = r.Drained
+		t.idle[i] = r.Idle
+		t.fresh += r.Fresh
+		t.transitions += r.Transitions
+		if r.MaxFresh > t.maxFresh {
+			t.maxFresh = r.MaxFresh
+		}
+		t.tooLarge = t.tooLarge || r.TooLarge
+		for l, v := range r.SentByLevel {
+			for len(t.sent) <= l {
+				t.sent = append(t.sent, 0)
+			}
+			t.sent[l] += v
+		}
+		for l, v := range r.RecvByLevel {
+			for len(t.recv) <= l {
+				t.recv = append(t.recv, 0)
+			}
+			t.recv[l] += v
+		}
+		if r.Viol && (!t.haveViol || r.ViolLevel < t.violLevel ||
+			(r.ViolLevel == t.violLevel && verify.LessState(r.ViolState, t.violState))) {
+			t.haveViol, t.violLevel, t.violState, t.violApp = true, r.ViolLevel, r.ViolState, r.ViolApp
+		}
+		t.wire.Add(verify.WireStats{
+			RoutedStates:   r.Routed,
+			FilteredStates: r.Filtered,
+			RawBytes:       r.RawBytes,
+			WireBytes:      r.WireBytes,
+			Links:          r.Links,
+		})
+	}
+	t.maxLevel = t.maxFresh
+	if len(t.sent)-1 > t.maxLevel {
+		t.maxLevel = len(t.sent) - 1
+	}
+	if len(t.recv)-1 > t.maxLevel {
+		t.maxLevel = len(t.recv) - 1
+	}
+}
+
+func (t *meshTracker) sumAt(counts []int, l int) int {
+	if l < len(counts) {
+		return counts[l]
+	}
+	return 0
+}
+
+// advance raises the done/final milestones as far as the last observed
+// round justifies. done(L) needs final(L) and every worker drained ≤ L;
+// final(L+1) needs done(L) — sends tagged L+1 are then finished — plus
+// matching cluster-wide sent/recv sums at L+1.
+func (t *meshTracker) advance() {
+	for {
+		d := t.final
+		for _, w := range t.drained {
+			if w < d {
+				d = w
+			}
+		}
+		if d > t.done {
+			t.done = d
+			continue
+		}
+		if t.done == t.final && t.final < t.maxLevel+1 &&
+			t.sumAt(t.sent, t.final+1) == t.sumAt(t.recv, t.final+1) {
+			t.final++
+			continue
+		}
+		return
+	}
+}
+
+// terminated reports whether the verdict is final: a violation whose
+// level is fully expanded, or cluster-wide quiescence with every level's
+// sent/recv sums matching (no state in flight, nothing left to expand).
+func (t *meshTracker) terminated() bool {
+	if t.haveViol && t.done >= t.violLevel {
+		return true
+	}
+	for _, ok := range t.idle {
+		if !ok {
+			return false
+		}
+	}
+	for l := 0; l <= t.maxLevel; l++ {
+		if t.sumAt(t.sent, l) != t.sumAt(t.recv, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// control renders the tracker's knowledge for the next poll round.
+func (t *meshTracker) control() *Control {
+	c := &Control{Final: t.final, Done: t.done}
+	if t.haveViol {
+		c.HaveViol, c.ViolLevel, c.ViolState = true, t.violLevel, t.violState
+	}
+	return c
+}
+
+// newSessionID draws a random mesh-rendezvous token; daemons serving
+// several coordinators key their link registries by it.
+func newSessionID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 1
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// verifyMesh drives the mesh topology: Init wires the worker↔worker
+// links, then the coordinator runs the poll/epoch control plane until the
+// tracker proves termination, and a Finish round collects final counters.
+func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, error) {
+	res := verify.Result{Schedulable: true, Bounded: job.MaxDisturbances > 0}
+	job.Mesh = true
+	job.Session = newSessionID()
+	job.Peers = peers
+	initResps, err := fanout(nodes, func(i int) *Request {
+		j := job
+		j.NodeID = i
+		return &Request{Kind: KindInit, Job: &j}
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, r := range initResps {
+		if r.Proto != protoVersion {
+			return res, fmt.Errorf("dverify: node %d speaks protocol %d, coordinator %d (restart verifyd with the current build)",
+				i, r.Proto, protoVersion)
+		}
+	}
+
+	tr := newMeshTracker(len(nodes))
+	finish := func() ([]*Response, error) {
+		ctl := tr.control()
+		ctl.Finish = true
+		return fanout(nodes, func(int) *Request { return &Request{Kind: KindPoll, Ctl: ctl} })
+	}
+	for {
+		ctl := tr.control()
+		resps, err := fanout(nodes, func(int) *Request { return &Request{Kind: KindPoll, Ctl: ctl} })
+		if err != nil {
+			// The run is poisoned; surviving workers tear down when their
+			// session ends (transport Close / next Init).
+			return res, err
+		}
+		tr.observe(resps)
+		tr.advance()
+		if tr.tooLarge && !tr.haveViol {
+			// Report the partial exploration like the relay path does —
+			// budget-busted admission checks still count their states and
+			// wire volume.
+			if final, ferr := finish(); ferr == nil {
+				tr.observe(final)
+			}
+			res.States, res.Transitions = tr.fresh, tr.transitions
+			res.Depth, res.Wire = tr.maxFresh, tr.wire
+			return res, verify.ErrTooLarge
+		}
+		if tr.terminated() || (tr.tooLarge && tr.haveViol) {
+			// As in the relay path, a recorded violation is preferred over
+			// ErrTooLarge when the budget trips: the verdict is sound, but
+			// on the budget edge the violator may not be the level minimum
+			// a larger budget would report.
+			final, err := finish()
+			if err != nil {
+				return res, err
+			}
+			tr.observe(final)
+			res.States = tr.fresh
+			res.Transitions = tr.transitions
+			res.Wire = tr.wire
+			if tr.haveViol {
+				res.Schedulable = false
+				res.Violator = tr.violApp
+				res.Depth = tr.violLevel
+			} else {
+				res.Depth = tr.maxFresh
+			}
+			return res, nil
+		}
+	}
+}

@@ -215,12 +215,36 @@ func (nd *node) absorb(batches [][]byte) *Response {
 	return resp
 }
 
-// handler serves one coordinator session, holding the node across the
-// session's requests. Both transports — the loopback goroutine and a
-// verifyd TCP session — dispatch through it, so worker behaviour is
-// identical on either.
+// handler serves one coordinator session, holding the worker node (relay
+// or mesh) across the session's requests. Both transports — the loopback
+// goroutine and a verifyd TCP session — dispatch through it, so worker
+// behaviour is identical on either.
 type handler struct {
+	// env wires mesh workers into their cluster's data plane; nil on
+	// transports that cannot form a mesh (mesh Inits are then refused).
+	env meshEnv
+	// draining, when non-nil, lets a shutting-down daemon refuse new jobs
+	// while the active ones run to completion.
+	draining func() bool
+	// acquire, when non-nil, claims the host's single worker slot on the
+	// session's first job — a worker node belongs to one cluster at a
+	// time (its visited partition is sized by the per-node MaxStates
+	// memory model, so concurrent coordinators would multiply residency).
+	// The slot is held across re-Inits and released when the session ends.
+	acquire func() bool
+
 	nd *node
+	mw *meshWorker
+}
+
+// reset tears down any live worker — a mesh worker's links and session
+// registration must never outlive its job (conn reuse ships a fresh Init).
+func (h *handler) reset() {
+	if h.mw != nil {
+		h.mw.shutdown()
+		h.mw = nil
+	}
+	h.nd = nil
 }
 
 // handle answers one request. Errors travel in Response.Err rather than
@@ -230,6 +254,24 @@ func (h *handler) handle(req *Request) *Response {
 	case KindInit:
 		if req.Job == nil {
 			return &Response{Err: "init without a job"}
+		}
+		if h.draining != nil && h.draining() {
+			return &Response{Err: "worker is draining (shutting down); refusing new jobs"}
+		}
+		if h.acquire != nil && !h.acquire() {
+			return &Response{Err: "worker is busy with another coordinator session (one cluster per worker)"}
+		}
+		h.reset()
+		if req.Job.Mesh {
+			if h.env == nil {
+				return &Response{Err: "this transport cannot form a worker mesh"}
+			}
+			mw, resp, err := newMeshWorker(req.Job, h.env)
+			if err != nil {
+				return &Response{Err: err.Error()}
+			}
+			h.mw = mw
+			return resp
 		}
 		nd, resp, err := newNode(req.Job)
 		if err != nil {
@@ -247,6 +289,11 @@ func (h *handler) handle(req *Request) *Response {
 			return &Response{Err: "absorb before init"}
 		}
 		return h.nd.absorb(req.Batches)
+	case KindPoll:
+		if h.mw == nil {
+			return &Response{Err: "poll before a mesh init"}
+		}
+		return h.mw.poll(req.Ctl)
 	default:
 		return &Response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
 	}

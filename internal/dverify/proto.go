@@ -24,10 +24,11 @@ import (
 // verifyd daemon), corrupting the search with no error. KindInit therefore
 // carries the coordinator's version in Job.Proto and the node echoes its
 // own in Response.Proto, so either side rejects a mismatch loudly before
-// any frontier is exchanged. Version 2 is the PR-4 protocol (per-source
-// absorb batch lists, codec-framed); PR-3 binaries predate the field and
-// present as version 0.
-const protoVersion = 2
+// any frontier is exchanged. Version 3 is the PR-5 protocol (worker↔worker
+// mesh links, pipelined levels, poll/epoch control plane); version 2 is the
+// PR-4 relay protocol (per-source absorb batch lists, codec-framed); PR-3
+// binaries predate the field and present as version 0.
+const protoVersion = 3
 
 // Kind discriminates coordinator requests.
 type Kind uint8
@@ -35,12 +36,22 @@ type Kind uint8
 const (
 	// KindInit ships the job to a node, resetting any previous one.
 	KindInit Kind = iota + 1
-	// KindStep expands the node's current frontier one BFS level, returning
-	// hash-routed successor batches for the other nodes.
+	// KindStep (relay topology) expands the node's current frontier one BFS
+	// level, returning hash-routed successor batches for the other nodes.
 	KindStep
-	// KindAbsorb delivers the routed successors owned by this node; fresh
-	// ones enter its next-level frontier.
+	// KindAbsorb (relay topology) delivers the routed successors owned by
+	// this node; fresh ones enter its next-level frontier.
 	KindAbsorb
+	// KindPoll (mesh topology) is one control-plane epoch: the request
+	// carries the coordinator's latest milestone knowledge (Control), the
+	// worker expands and exchanges frontiers over its mesh links until it
+	// has news for the coordinator (or a short time budget runs out) and
+	// answers with a counter snapshot.
+	KindPoll
+	// KindPeerHello opens a worker↔worker mesh link: it is the first value
+	// on a dialed peer connection (never sent on a coordinator session),
+	// followed by a stream of Frame values.
+	KindPeerHello
 )
 
 // Job describes one verification run from a single worker node's
@@ -66,6 +77,18 @@ type Job struct {
 	// MaxStates is the per-node visited budget (per-node memory model):
 	// the aggregate capacity of a run is NumNodes × MaxStates.
 	MaxStates int
+
+	// Mesh selects the direct worker↔worker exchange: the node opens (or
+	// accepts) one data link per peer at Init and the coordinator drives
+	// it with KindPoll instead of KindStep/KindAbsorb.
+	Mesh bool
+	// Session identifies this run's mesh rendezvous: peer links carry it
+	// so a daemon serving several coordinators never cross-wires links.
+	Session uint64
+	// Peers are the advertised addresses of every node in the cluster,
+	// indexed by node ID (nil for in-process loopback meshes, where links
+	// are channels). Node i dials Peers[j] for every j ≠ i.
+	Peers []string
 }
 
 // Request is one coordinator→node message.
@@ -78,6 +101,45 @@ type Request struct {
 	// source-node order, empty batches omitted. Each batch is decoded
 	// independently (compressed batches cannot be concatenated byte-wise).
 	Batches [][]byte
+	// Ctl accompanies KindPoll.
+	Ctl *Control
+	// Hello accompanies KindPeerHello.
+	Hello *PeerHello
+}
+
+// Control is the coordinator's milestone knowledge, piggybacked on every
+// KindPoll so workers can release deferred commits and skip doomed work.
+// See mesh.go for the invariants behind Final and Done.
+type Control struct {
+	// Final is the highest level whose bucket membership is final
+	// everywhere: all messages tagged ≤ Final have been absorbed, so
+	// arrivals tagged ≤ Final+1 may commit immediately.
+	Final int
+	// Done is the highest level fully expanded everywhere (informational;
+	// workers gate commits on Final alone).
+	Done int
+	// HaveViol/ViolLevel/ViolState broadcast the minimum violation found
+	// so far, letting workers skip states that cannot improve on it.
+	HaveViol  bool
+	ViolLevel int
+	ViolState verify.PackedState
+	// Finish ends the session's search: the worker tears down its mesh
+	// links and answers with its final counter snapshot.
+	Finish bool
+}
+
+// PeerHello identifies a dialed worker↔worker mesh link.
+type PeerHello struct {
+	Proto    int
+	Session  uint64
+	From, To int
+}
+
+// Frame is one level-tagged frontier batch on a TCP mesh link, following
+// the PeerHello on the same gob stream. Batch is frontierCodec-encoded.
+type Frame struct {
+	Level int
+	Batch []byte
 }
 
 // Response is one node→coordinator message. Err is the worker-side failure
@@ -122,10 +184,39 @@ type Response struct {
 	// Viol flags a deadline miss found while expanding this level;
 	// ViolState is the minimum violating frontier state of this node's
 	// partition (the cross-node tie-break key) and ViolApp the application
-	// that missed.
+	// that missed. In mesh snapshots ViolLevel carries the BFS level of the
+	// node's minimum violation (level-first, then state — the first-
+	// violating-level tie-break).
 	Viol      bool
 	ViolState verify.PackedState
 	ViolApp   int
+	ViolLevel int
+
+	// Mesh snapshot fields (KindPoll responses). All counters are
+	// cumulative over the session, so the coordinator's latest round is
+	// always a complete picture.
+	//
+	// SentByLevel and RecvByLevel count the states this node shipped to
+	// and drained from its mesh links, indexed by the BFS level of the
+	// states (self-owned successors never cross a link and are excluded
+	// on both sides). The coordinator's epoch accounting declares a level
+	// final when the cluster-wide sums match — the classic sent-vs-
+	// absorbed termination criterion.
+	SentByLevel []int
+	RecvByLevel []int
+	// Drained is the highest level L such that this node has expanded (or
+	// deliberately skipped, under a violation bound) every state committed
+	// to buckets 0..L. Capped at the node's final-level knowledge + 1.
+	Drained int
+	// Idle reports that the node has no expandable work, no deferred
+	// arrivals and no buffered sends — quiescent under its current
+	// milestone knowledge.
+	Idle bool
+	// MaxFresh is the deepest level at which this node committed a fresh
+	// state (the node's contribution to Result.Depth).
+	MaxFresh int
+	// Links are this node's cumulative per-destination wire counters.
+	Links []verify.LinkWire
 }
 
 // Frontier batch codec. Every batch opens with a version byte naming the

@@ -200,10 +200,31 @@ func (s *StateSet) Add(k PackedState) bool {
 	return s.narrow.add(k[0])
 }
 
+// AddHashed is Add with the state's Expander.Hash precomputed — drivers
+// that already hashed the state for shard routing skip the second mix.
+func (s *StateSet) AddHashed(k PackedState, h uint64) bool {
+	if s.wide != nil {
+		return s.wide.addHashed(wstate(k), h)
+	}
+	return s.narrow.addHashed(k[0], h)
+}
+
 // Len returns the number of stored states.
 func (s *StateSet) Len() int {
 	if s.wide != nil {
 		return s.wide.len()
 	}
 	return s.narrow.len()
+}
+
+// Reserve grows the set — in a single rehash — until it can absorb n more
+// states without exceeding the load factor. Search drivers call it with
+// the expected fanout of the coming level so inserts never rehash
+// mid-level, exactly like the internal BFS drivers.
+func (s *StateSet) Reserve(n int) {
+	if s.wide != nil {
+		s.wide.reserve(n)
+		return
+	}
+	s.narrow.reserve(n)
 }

@@ -32,13 +32,19 @@ func hashU64(x uint64) uint64 {
 
 // add inserts k and reports whether it was absent.
 func (s *u64Set) add(k uint64) bool {
+	return s.addHashed(k, hashU64(k))
+}
+
+// addHashed is add with the key's hash precomputed — search drivers that
+// already hashed a state for shard routing skip the second mix.
+func (s *u64Set) addHashed(k, h uint64) bool {
 	if k == 0 {
 		panic("u64Set: zero key is reserved")
 	}
 	if 4*(s.n+1) > 3*len(s.slots) {
 		s.grow()
 	}
-	i := hashU64(k) & s.mask
+	i := h & s.mask
 	for {
 		v := s.slots[i]
 		if v == 0 {

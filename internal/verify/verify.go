@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 
 	"tightcps/internal/sched"
 	"tightcps/internal/switching"
@@ -112,7 +113,31 @@ type Config struct {
 	// reconstruction needs in-process parent pointers, so callers re-run a
 	// violating slot locally to obtain the schedule.
 	Distributed func(profiles []*switching.Profile, cfg Config) (Result, error)
+	// DistTopology selects the exchange topology of a distributed run; it
+	// rides the Config into the Distributed hook and is ignored by local
+	// searches. The verdict and all exhaustive counts are topology-
+	// independent (mapping.VerifyConfigKey excludes it), so the knob trades
+	// only performance: TopologyMesh routes frontiers over direct
+	// worker↔worker links with pipelined asynchronous levels, TopologyRelay
+	// is the level-synchronous coordinator relay.
+	DistTopology DistTopology
 }
+
+// DistTopology names a distributed frontier-exchange topology.
+type DistTopology string
+
+const (
+	// TopologyAuto picks the mesh whenever the cluster's transports
+	// support direct worker↔worker links, the relay otherwise.
+	TopologyAuto DistTopology = ""
+	// TopologyMesh demands direct worker↔worker frontier exchange with
+	// pipelined asynchronous levels (errors when the transports cannot
+	// form a mesh).
+	TopologyMesh DistTopology = "mesh"
+	// TopologyRelay forces the level-synchronous exchange through the
+	// coordinator.
+	TopologyRelay DistTopology = "relay"
+)
 
 // Result reports a verification outcome.
 type Result struct {
@@ -146,14 +171,45 @@ type WireStats struct {
 	FilteredStates int // states suppressed by sender-side recent filters
 	RawBytes       int // fixed-width cost of routed+filtered states
 	WireBytes      int // bytes actually shipped (batches incl. codec byte)
+	// Links breaks the totals down per directed worker↔worker link of a
+	// mesh-topology run, ordered by (From, To). Nil for relay runs, where
+	// every batch transits the coordinator and no direct links exist.
+	Links []LinkWire
 }
 
-// Add accumulates other into w.
+// LinkWire is the frontier volume of one directed mesh link.
+type LinkWire struct {
+	From, To int // node IDs, From ≠ To
+	States   int // states shipped over the link (post-filter)
+	Bytes    int // bytes shipped (encoded batches; raw width on loopback)
+}
+
+// Add accumulates other into w, merging per-link counters by (From, To).
 func (w *WireStats) Add(other WireStats) {
 	w.RoutedStates += other.RoutedStates
 	w.FilteredStates += other.FilteredStates
 	w.RawBytes += other.RawBytes
 	w.WireBytes += other.WireBytes
+	for _, l := range other.Links {
+		merged := false
+		for i := range w.Links {
+			if w.Links[i].From == l.From && w.Links[i].To == l.To {
+				w.Links[i].States += l.States
+				w.Links[i].Bytes += l.Bytes
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			w.Links = append(w.Links, l)
+		}
+	}
+	sort.Slice(w.Links, func(i, j int) bool {
+		if w.Links[i].From != w.Links[j].From {
+			return w.Links[i].From < w.Links[j].From
+		}
+		return w.Links[i].To < w.Links[j].To
+	})
 }
 
 // Report formats the counters as the one-line summary every CLI prints —

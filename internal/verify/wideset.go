@@ -22,13 +22,18 @@ func newWideSet(capacity int) *wideSet {
 
 // add inserts k and reports whether it was absent.
 func (s *wideSet) add(k wstate) bool {
+	return s.addHashed(k, hashW(k))
+}
+
+// addHashed is add with the key's hash precomputed (see u64Set.addHashed).
+func (s *wideSet) addHashed(k wstate, h uint64) bool {
 	if k == (wstate{}) {
 		panic("wideSet: zero key is reserved")
 	}
 	if 4*(s.n+1) > 3*len(s.slots) {
 		s.grow()
 	}
-	i := hashW(k) & s.mask
+	i := h & s.mask
 	for {
 		v := s.slots[i]
 		if v == (wstate{}) {
