@@ -11,7 +11,9 @@
 //     under the symmetry quotient;
 //   - VerifyS1Loopback2 / VerifyS1Loopback4: S1 distributed over two and
 //     four in-process loopback workers on the mesh topology (direct
-//     worker↔worker exchange, pipelined levels);
+//     worker↔worker exchange, pipelined levels), each also measured with a
+//     4-lane per-node expansion pool (the ...2x4/...4x4 rows — the
+//     workers_per_node dimension of the scaling study);
 //   - VerifyS1Loopback2Relay: the same two-worker run on the PR-4
 //     level-synchronous coordinator relay, which also reports the
 //     frontier-exchange wire volume of the compressed codec (the mesh's
@@ -34,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -43,7 +46,9 @@ import (
 	"tightcps/internal/verify"
 )
 
-// benchResult is one workload's measurement.
+// benchResult is one workload's measurement. Gomaxprocs/NumCPU pin the
+// builder's core budget next to every number, so 1-CPU CI figures are
+// never mistaken for multi-core results.
 type benchResult struct {
 	Name         string  `json:"name"`
 	States       int     `json:"states"`
@@ -51,6 +56,8 @@ type benchResult struct {
 	StatesPerSec float64 `json:"states_per_sec"`
 	BPerOp       int64   `json:"b_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
 }
 
 // wireResult is the 2-node frontier-exchange volume of one S1 run.
@@ -62,12 +69,17 @@ type wireResult struct {
 	SavedFraction  float64 `json:"saved_fraction"`
 }
 
-// scalingEntry is one node-count measurement of the distributed_scaling
-// study: S1 throughput at a cluster size, with speedups against the
-// single-node search and the recorded PR-4 two-node relay baseline.
+// scalingEntry is one cluster-shape measurement of the
+// distributed_scaling study: S1 throughput at a node count and per-node
+// worker-pool size, with speedups against the single-node search and the
+// recorded PR-4 two-node relay baseline. CoresTotal = nodes ×
+// workers_per_node distinguishes node-scaling from core-scaling in the
+// trajectory.
 type scalingEntry struct {
 	Nodes           int     `json:"nodes"`
 	Topology        string  `json:"topology"` // "local", "mesh" or "relay"
+	WorkersPerNode  int     `json:"workers_per_node"`
+	CoresTotal      int     `json:"cores_total"`
 	StatesPerSec    float64 `json:"states_per_sec"`
 	SpeedupVsSingle float64 `json:"speedup_vs_single_node"`
 	SpeedupVsPR4    float64 `json:"speedup_vs_pr4_loopback2"`
@@ -155,6 +167,8 @@ func measure(name string, states *int, run func() (verify.Result, error)) benchR
 		StatesPerSec: float64(*states) / (float64(ns) / 1e9),
 		BPerOp:       r.AllocedBytesPerOp(),
 		AllocsPerOp:  r.AllocsPerOp(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 	}
 }
 
@@ -186,48 +200,78 @@ func main() {
 	single := rep.Current[0].StatesPerSec
 	rep.BaselineLB2 = baselineLoopback2PR4
 	rep.Scaling = append(rep.Scaling, scalingEntry{
-		Nodes: 1, Topology: "local", StatesPerSec: single,
+		Nodes: 1, Topology: "local", WorkersPerNode: 1, CoresTotal: 1, StatesPerSec: single,
 		SpeedupVsSingle: 1, SpeedupVsPR4: single / baselineLoopback2PR4,
 	})
 
-	// Distributed S1: the mesh topology at two and four loopback workers
-	// (the scaling study), plus the two-worker relay for the wire-volume
+	// Distributed S1: the mesh topology at two and four loopback workers,
+	// each at per-node expansion pools of 1 and 4 lanes (the node-scaling ×
+	// core-scaling study), plus the two-worker relay for the wire-volume
 	// numbers of the compressed codec path.
-	meshRun := func(name string, n int) {
-		fmt.Fprintf(os.Stderr, "bench: %s (%d-node mesh)...\n", name, n)
+	var mesh2w1, mesh4w1 benchResult
+	meshRun := func(name string, n, workers int) benchResult {
+		fmt.Fprintf(os.Stderr, "bench: %s (%d-node mesh, %d workers/node)...\n", name, n, workers)
 		ts := dverify.Loopback(n)
 		defer dverify.Close(ts)
 		runner := dverify.Runner(ts)
-		r := measure(name, &states, func() (verify.Result, error) {
-			return verify.Slot(s1, verify.Config{NondetTies: true, Distributed: runner})
-		})
+		run := func() (verify.Result, error) {
+			return verify.Slot(s1, verify.Config{NondetTies: true, Workers: workers, Distributed: runner})
+		}
+		// One untimed run first: the standing cluster reuses its workers
+		// across Inits, so the quoted numbers (and the alloc-trend gate) are
+		// the steady state of a warm fleet, not first-run construction.
+		if _, err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		r := measure(name, &states, run)
 		rep.Current = append(rep.Current, r)
 		rep.Scaling = append(rep.Scaling, scalingEntry{
-			Nodes: n, Topology: "mesh", StatesPerSec: r.StatesPerSec,
+			Nodes: n, Topology: "mesh", WorkersPerNode: workers, CoresTotal: n * workers,
+			StatesPerSec:    r.StatesPerSec,
 			SpeedupVsSingle: r.StatesPerSec / single,
 			SpeedupVsPR4:    r.StatesPerSec / baselineLoopback2PR4,
 		})
+		return r
 	}
-	meshRun("VerifyS1Loopback2", 2)
-	meshRun("VerifyS1Loopback4", 4)
+	mesh2w1 = meshRun("VerifyS1Loopback2", 2, 1)
+	meshRun("VerifyS1Loopback2x4", 2, 4)
+	mesh4w1 = meshRun("VerifyS1Loopback4", 4, 1)
+	meshRun("VerifyS1Loopback4x4", 4, 4)
 
 	fmt.Fprintln(os.Stderr, "bench: VerifyS1Loopback2Relay (2-node relay)...")
 	ts := dverify.Loopback(2)
 	defer dverify.Close(ts)
 	runner := dverify.Runner(ts)
 	var wire verify.WireStats
-	relay := measure("VerifyS1Loopback2Relay", &states, func() (verify.Result, error) {
+	relayRun := func() (verify.Result, error) {
 		res, err := verify.Slot(s1, verify.Config{
-			NondetTies: true, Distributed: runner, DistTopology: verify.TopologyRelay})
+			NondetTies: true, Workers: 1, Distributed: runner, DistTopology: verify.TopologyRelay})
 		wire = res.Wire
 		return res, err
-	})
+	}
+	if _, err := relayRun(); err != nil { // warm fleet, as for the mesh rows
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	relay := measure("VerifyS1Loopback2Relay", &states, relayRun)
 	rep.Current = append(rep.Current, relay)
 	rep.Scaling = append(rep.Scaling, scalingEntry{
-		Nodes: 2, Topology: "relay", StatesPerSec: relay.StatesPerSec,
+		Nodes: 2, Topology: "relay", WorkersPerNode: 1, CoresTotal: 2,
+		StatesPerSec:    relay.StatesPerSec,
 		SpeedupVsSingle: relay.StatesPerSec / single,
 		SpeedupVsPR4:    relay.StatesPerSec / baselineLoopback2PR4,
 	})
+
+	// Alloc-trend gate: per-op allocations of the loopback mesh must stay
+	// roughly flat in the node count (each node recycles its inbox batches
+	// and frontier buckets; only per-link structures scale). Before the
+	// recycling fix the 4-node run allocated ~2× the 2-node run per op.
+	if ratio := float64(mesh4w1.AllocsPerOp) / float64(mesh2w1.AllocsPerOp); ratio > 1.5 {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: 4-node mesh allocs/op is %.2f× the 2-node run (%d vs %d), want ≤ 1.5× — per-node allocation is growing with cluster size\n",
+			ratio, mesh4w1.AllocsPerOp, mesh2w1.AllocsPerOp)
+		os.Exit(1)
+	}
 	rep.Wire = wireResult{
 		RoutedStates:   wire.RoutedStates,
 		FilteredStates: wire.FilteredStates,
@@ -257,7 +301,7 @@ func main() {
 	fmt.Printf("  vs baseline: B/op ×%.1f, allocs/op ×%.0f; 2-node relay wire %.0f%% below raw\n",
 		rep.BRatio, rep.AllocsRat, 100*rep.Wire.SavedFraction)
 	for _, s := range rep.Scaling {
-		fmt.Printf("  scaling: %d-node %-5s %8.0f states/s  ×%.2f vs single  ×%.2f vs PR-4 loopback2\n",
-			s.Nodes, s.Topology, s.StatesPerSec, s.SpeedupVsSingle, s.SpeedupVsPR4)
+		fmt.Printf("  scaling: %d-node %-5s ×%d workers (%2d cores) %8.0f states/s  ×%.2f vs single  ×%.2f vs PR-4 loopback2\n",
+			s.Nodes, s.Topology, s.WorkersPerNode, s.CoresTotal, s.StatesPerSec, s.SpeedupVsSingle, s.SpeedupVsPR4)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -621,8 +622,13 @@ func runSynthetic(n int, seed int64, budget int, cachefile string) {
 	if stats.verifySecs > 0 {
 		rate = int(float64(stats.statesExplored) / stats.verifySecs)
 	}
-	fmt.Printf("  admission checks %d (%d served by cache), states explored %d, rate=%d states/s\n",
-		ff.Verifications, ff.CacheHits, stats.statesExplored, rate)
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("  admission checks %d (%d served by cache), states explored %d, rate=%d states/s [gomaxprocs=%d numcpu=%d workers=%d]\n",
+		ff.Verifications, ff.CacheHits, stats.statesExplored, rate,
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), effWorkers)
 	fmt.Printf("  rejects: %d by counterexample replay, %d by state budget (conservative), %d over the encoding cap\n",
 		stats.replayRefuted, stats.budgetRejects, stats.encodingRejects)
 	if stats.wire.RawBytes > 0 {

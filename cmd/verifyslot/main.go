@@ -173,9 +173,14 @@ func run() int {
 			res = traced
 		}
 	}
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
 	fmt.Printf("slot %v: schedulable=%v\n", names, res.Schedulable)
-	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v rate=%d states/s (%.2fs)\n",
-		res.States, res.Transitions, res.Depth, res.Bounded, rate, time.Since(t0).Seconds())
+	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v rate=%d states/s (%.2fs) [gomaxprocs=%d numcpu=%d workers=%d]\n",
+		res.States, res.Transitions, res.Depth, res.Bounded, rate, time.Since(t0).Seconds(),
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), effWorkers)
 	if wire.RawBytes > 0 {
 		fmt.Printf("  %s\n", wire.Report())
 	}

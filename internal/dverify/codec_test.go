@@ -252,11 +252,11 @@ func TestProtocolVersionHandshake(t *testing.T) {
 		Profiles: []switching.Profile{*prof("A", 5, 2, 4, 20)},
 		NumNodes: 1,
 	}
-	if _, _, err := newNode(&job); err == nil {
+	if _, _, err := newNode(&job, nil); err == nil {
 		t.Fatal("node accepted a protocol-0 job")
 	}
 	job.Proto = protoVersion
-	if _, _, err := newNode(&job); err != nil {
+	if _, _, err := newNode(&job, nil); err != nil {
 		t.Fatalf("node rejected the current protocol: %v", err)
 	}
 

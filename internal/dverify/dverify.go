@@ -75,8 +75,9 @@ type Transport interface {
 
 // Verify runs the distributed reachability analysis for the profiles over
 // the given worker nodes. The configuration is interpreted exactly like
-// verify.Slot's, except that Workers applies per node (unused — nodes
-// expand serially; parallelism comes from the cluster), MaxStates is a
+// verify.Slot's, except that Workers is the per-node expansion pool size
+// (0 lets each node use its own GOMAXPROCS, so an N-node cluster of
+// M-core hosts searches N×M-wide; 1 keeps nodes serial), MaxStates is a
 // per-node budget, and Trace is rejected. Config.DistTopology selects the
 // exchange: the default (TopologyAuto) runs the worker↔worker mesh with
 // pipelined levels whenever the transports support it — unwrapped
@@ -105,6 +106,7 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		NondetTies:        cfg.NondetTies,
 		SymmetryReduction: cfg.SymmetryReduction,
 		MaxStates:         cfg.MaxStates,
+		Workers:           cfg.Workers,
 	}
 	for i, p := range profiles {
 		job.Profiles[i] = *p

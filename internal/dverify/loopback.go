@@ -143,10 +143,14 @@ func (e loopEnv) connect(job *Job, inbox *meshInbox, exp *verify.Expander) ([]me
 	if err != nil {
 		return nil, nil, err
 	}
+	// One backing array for all n−1 links: per-link allocations would give
+	// every re-Init an n² term across the cluster.
 	links := make([]meshLink, job.NumNodes)
+	ls := make([]loopLink, job.NumNodes)
 	for d := range links {
 		if d != job.NodeID {
-			links[d] = &loopLink{sess: sess, from: job.NodeID, to: d, words: exp.StateWords()}
+			ls[d] = loopLink{sess: sess, from: job.NodeID, to: d, words: exp.StateWords()}
+			links[d] = &ls[d]
 		}
 	}
 	id := job.NodeID

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tightcps/internal/switching"
@@ -46,15 +47,24 @@ import (
 // leaves the sums unequal).
 
 // meshChunk is how many states a worker expands between inbox drains and
-// control checks; meshPollBudget caps how long a busy worker holds a poll
-// before answering with an interim snapshot; meshIdleWait caps how long
-// an idle worker waits for data before answering an unchanged snapshot;
-// meshBatchTarget is the flush threshold of per-destination send buffers.
+// control checks (per lane when the pool is parallel); meshPollBudget
+// caps how long a busy worker holds a poll before answering with an
+// interim snapshot; meshIdleWait caps how long an idle worker waits for
+// data before answering an unchanged snapshot; meshBatchTarget is the
+// flush threshold of per-destination send buffers. meshParallelThreshold
+// is the smallest bucket remainder (or inbox batch) worth fanning across
+// the lane pool — below it the spawn barrier costs more than the lanes
+// save, mirroring the local drivers' serialLevelThreshold; meshLaneChunk
+// is the lanes' work-stealing claim size; meshFreeBatches caps the
+// worker-local batch free list.
 const (
-	meshChunk       = 1024
-	meshPollBudget  = 25 * time.Millisecond
-	meshIdleWait    = 20 * time.Millisecond
-	meshBatchTarget = 4096
+	meshChunk             = 1024
+	meshPollBudget        = 25 * time.Millisecond
+	meshIdleWait          = 20 * time.Millisecond
+	meshBatchTarget       = 4096
+	meshParallelThreshold = 256
+	meshLaneChunk         = 64
+	meshFreeBatches       = 512
 )
 
 // meshBatch is one level-tagged batch of decoded states crossing a mesh
@@ -76,7 +86,9 @@ type meshInbox struct {
 }
 
 func newMeshInbox() *meshInbox {
-	return &meshInbox{notify: make(chan struct{}, 1)}
+	// The queue and the worker's drain spare ping-pong, so pre-sizing both
+	// spares the early-level growth reallocations on every run.
+	return &meshInbox{q: make([]meshBatch, 0, 32), notify: make(chan struct{}, 1)}
 }
 
 func (ib *meshInbox) push(b meshBatch) {
@@ -133,23 +145,41 @@ type meshEnv interface {
 	connect(job *Job, inbox *meshInbox, exp *verify.Expander) (links []meshLink, cleanup func(), err error)
 }
 
-// meshWorker is one node of the mesh search. It is single-goroutine: the
-// transport's serve loop calls Init/Poll, and all search state is touched
-// only from those calls (peer readers touch nothing but the inbox).
+// meshWorker is one node of the mesh search. Its control flow is
+// single-goroutine — the transport's serve loop calls Init/Poll, and all
+// routing, milestone and accounting state is touched only from those
+// calls (peer readers touch nothing but the inbox) — but inside a poll
+// the orchestrator fans expansion and absorption across a pool of lanes
+// (workers > 1): the lanes share only the striped visited set and a few
+// chunk-scoped atomics, everything else they touch is lane-private, and
+// the orchestrator merges their output back single-threaded.
 type meshWorker struct {
 	id, n   int
+	job     *Job // what the worker was built for (reuse compatibility)
 	exp     *verify.Expander
 	words   int
 	budget  int
 	visited *verify.StateSet
 	esc     *verify.ExpandScratch
-	succ    []verify.PackedState
+	hsucc   []verify.HashedState
+	lanes   []*meshLane // nil when workers == 1 (serial expansion)
 
 	inbox   *meshInbox
 	spareQ  []meshBatch
 	links   []meshLink
 	filters []sendFilter
 	cleanup func()
+
+	// Worker-local batch recycling (orchestrator goroutine only): free is
+	// the slice free list fed by absorbed inbox batches and drained
+	// buckets, spareBuckets the big frontier buckets retired — the next
+	// big levels are built in them, the way the local drivers swap
+	// frontier and spare instead of allocating per level. It is a small
+	// stack, not a single slot: the commit rule keeps a window of levels
+	// live at once, and they retire in bursts.
+	free         [][]verify.PackedState
+	spareBuckets [][]verify.PackedState
+	sparePending [][]verify.PackedState // retired deferral-list backbone
 
 	// Level-indexed search state. buckets[l][:cursors[l]] is expanded;
 	// pending holds batches deferred by the commit rule (tag > final+1) —
@@ -190,6 +220,51 @@ type meshWorker struct {
 	waitT    *time.Timer
 	lastSnap meshDigest
 	haveSnap bool
+
+	// Snapshot responses are double-buffered: the coordinator reads round
+	// k's response while the worker builds round k+1 into the other
+	// buffer, so the per-poll counter copies reuse their backing arrays
+	// instead of allocating on every epoch.
+	snapResp [2]Response
+	snapFlip int
+	// initResp backs reinit's Init reply the same way: by the time a
+	// follow-up job re-Inits the worker, the previous reply is long
+	// consumed.
+	initResp Response
+}
+
+// meshLane is one expansion goroutine's private state: its own scratch
+// arena (SuccessorsHashedInto overwrites it per call, so lanes never
+// share one), per-destination staging buffers for peer-owned successors,
+// and the chunk's fresh commits and deferred states. Lanes never touch
+// the filters, send buffers, level buckets or epoch counters — the
+// orchestrator owns those and folds the lanes' staging in after the
+// chunk barrier.
+type meshLane struct {
+	esc  *verify.ExpandScratch
+	succ []verify.HashedState   // per-state expansion scratch
+	out  [][]verify.HashedState // peer-owned successors, staged per destination
+	next []verify.PackedState   // fresh self-owned commits of this chunk
+	defr []verify.PackedState   // self-owned successors awaiting the commit rule
+
+	trans     int
+	haveViol  bool
+	violState verify.PackedState
+	violApp   int
+}
+
+// reset clears a lane's per-run state for reuse by a follow-up job,
+// keeping its scratch arena and the staging buffers' capacity. The
+// orchestrator recycles defr itself before calling this (lanes have no
+// access to the free list).
+func (ln *meshLane) reset() {
+	ln.next = ln.next[:0]
+	ln.defr = nil
+	for d := range ln.out {
+		ln.out[d] = ln.out[d][:0]
+	}
+	ln.trans = 0
+	ln.haveViol, ln.violState, ln.violApp = false, verify.PackedState{}, -1
 }
 
 // meshDigest summarizes a snapshot for the long-poll "news" check: a
@@ -204,14 +279,19 @@ type meshDigest struct {
 }
 
 // newMeshWorker builds a node for a mesh job and wires its data links
-// through env, seeding the initial state on its owner.
-func newMeshWorker(job *Job, env meshEnv) (*meshWorker, *Response, error) {
+// through env, seeding the initial state on its owner. A previous worker
+// whose job is compatible is reinitialized in place instead, reusing its
+// expander, visited partition, lane pool and batch memory.
+func newMeshWorker(job *Job, env meshEnv, prev *meshWorker) (*meshWorker, *Response, error) {
 	if job.Proto != protoVersion {
 		return nil, nil, fmt.Errorf("dverify: coordinator speaks protocol %d, this worker speaks %d (rebuild the older side)",
 			job.Proto, protoVersion)
 	}
 	if job.NumNodes < 1 || job.NodeID < 0 || job.NodeID >= job.NumNodes {
 		return nil, nil, fmt.Errorf("dverify: node %d of %d is not a valid placement", job.NodeID, job.NumNodes)
+	}
+	if prev != nil && jobsCompatible(prev.job, job) {
+		return prev.reinit(job, env)
 	}
 	profs := make([]*switching.Profile, len(job.Profiles))
 	for i := range job.Profiles {
@@ -230,21 +310,38 @@ func newMeshWorker(job *Job, env meshEnv) (*meshWorker, *Response, error) {
 	if budget <= 0 {
 		budget = defaultMaxStates
 	}
+	workers := effectiveWorkers(job.Workers)
 	w := &meshWorker{
 		id:         job.NodeID,
 		n:          job.NumNodes,
+		job:        job,
 		exp:        exp,
 		words:      exp.StateWords(),
 		budget:     budget,
-		visited:    exp.NewSet(1 << 16),
 		esc:        exp.NewScratch(),
 		inbox:      newMeshInbox(),
+		spareQ:     make([]meshBatch, 0, 32),
 		filters:    make([]sendFilter, job.NumNodes),
 		outBuf:     make([][]verify.PackedState, job.NumNodes),
 		linkStates: make([]int, job.NumNodes),
 		linkBytes:  make([]int, job.NumNodes),
 		outLevel:   -1,
 		violApp:    -1,
+	}
+	if workers > 1 {
+		// The lane pool shares the visited partition, so it must be the
+		// striped set; the serial worker keeps the cheaper unsharded one.
+		w.visited = exp.NewShardedSet(1 << 16)
+		w.lanes = make([]*meshLane, workers)
+		for i := range w.lanes {
+			w.lanes[i] = &meshLane{
+				esc:     exp.NewScratch(),
+				out:     make([][]verify.HashedState, job.NumNodes),
+				violApp: -1,
+			}
+		}
+	} else {
+		w.visited = exp.NewSet(1 << 16)
 	}
 	for d := range w.outBuf {
 		if d != w.id {
@@ -271,8 +368,149 @@ func newMeshWorker(job *Job, env meshEnv) (*meshWorker, *Response, error) {
 	return w, resp, nil
 }
 
-// ensureLevel grows the level-indexed slices to hold level l.
+// reinit rebuilds the worker in place for a compatible follow-up job: the
+// expander and scratch arenas, the visited partition (cleared, not
+// reallocated — the dominant per-run allocation), the lane pool, the batch
+// free list and the level backbones all survive. A standing cluster
+// re-verifying a slot — a daemon serving successive coordinators, or the
+// bench loop — re-Inits without restarting the steady state from zero.
+// The previous run's links are already down (Init goes through
+// handler.reset, and shutdown is idempotent); its session registration is
+// gone, so nothing can reach the inbox while it is swept. Leftover
+// frontier, deferral and send memory — a violating or over-budget run
+// stops with all three parked — feeds the free list, then the data plane
+// reconnects under the new session.
+func (w *meshWorker) reinit(job *Job, env meshEnv) (*meshWorker, *Response, error) {
+	w.shutdown()
+	w.job = job
+	w.budget = job.MaxStates
+	if w.budget <= 0 {
+		w.budget = defaultMaxStates
+	}
+
+	for l := range w.buckets {
+		if cap(w.buckets[l]) > 0 {
+			w.recycleBucket(l)
+		}
+		w.cursors[l] = 0
+		for _, b := range w.pending[l] {
+			w.putBatch(b)
+		}
+		w.pending[l] = nil
+		w.freshAt[l], w.sentByLevel[l], w.recvByLevel[l] = 0, 0, 0
+	}
+	w.buckets, w.cursors, w.pending = w.buckets[:0], w.cursors[:0], w.pending[:0]
+	w.freshAt, w.sentByLevel, w.recvByLevel = w.freshAt[:0], w.sentByLevel[:0], w.recvByLevel[:0]
+	for d := range w.outBuf {
+		if w.outBuf[d] != nil {
+			w.outBuf[d] = w.outBuf[d][:0]
+		} else if d != w.id {
+			w.outBuf[d] = w.getBatch()
+		}
+	}
+	w.outLevel = -1
+	w.inbox.mu.Lock()
+	q := w.inbox.q
+	w.inbox.q = w.inbox.q[:0]
+	w.inbox.mu.Unlock()
+	for _, b := range q {
+		if b.err == nil {
+			w.putBatch(b.states)
+		}
+	}
+	select {
+	case <-w.inbox.notify:
+	default:
+	}
+	for _, ln := range w.lanes {
+		if ln.defr != nil {
+			w.putBatch(ln.defr)
+		}
+		ln.reset()
+	}
+	w.visited.Reset()
+	w.fresh, w.transitions, w.maxFresh = 0, 0, 0
+	w.routed, w.filtered, w.wireBytes = 0, 0, 0
+	clear(w.linkStates)
+	clear(w.linkBytes)
+	w.tooLarge, w.err = false, nil
+	w.haveViol, w.violLevel, w.violState, w.violApp = false, 0, verify.PackedState{}, -1
+	w.haveBound, w.boundLevel, w.boundState = false, 0, verify.PackedState{}
+	w.final = 0
+	w.finished = false
+	w.lastSnap, w.haveSnap = meshDigest{}, false
+
+	links, cleanup, err := env.connect(job, w.inbox, w.exp)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.links, w.cleanup = links, cleanup
+	for d, l := range links {
+		switch want := d != w.id && l != nil && l.wantFilter(); {
+		case want && w.filters[d].slots == nil:
+			w.filters[d] = newSendFilter()
+		case want:
+			clear(w.filters[d].slots)
+		default:
+			w.filters[d] = sendFilter{}
+		}
+	}
+	resp := &w.initResp
+	*resp = Response{Proto: protoVersion, ViolApp: -1}
+	if init := w.exp.Initial(); owner(w.exp.Hash(init), w.n) == w.id {
+		w.ensureLevel(0)
+		w.visited.Add(init)
+		w.buckets[0] = append(w.buckets[0], init)
+		w.fresh, resp.Fresh, resp.Next = 1, 1, 1
+	}
+	return w, resp, nil
+}
+
+// getBatch draws a batch slice from the worker's free list, falling back
+// to the shared pool. Orchestrator goroutine only — the list is what
+// keeps a node's steady-state batch traffic allocation-free without
+// sync.Pool round-trips (whose misses grew per-op allocations with the
+// node count; inbox batches absorbed here refill the list the sends
+// drain).
+func (w *meshWorker) getBatch() []verify.PackedState {
+	if n := len(w.free); n > 0 {
+		b := w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		return b
+	}
+	return getBatch()
+}
+
+// putBatch recycles a batch slice into the worker's free list (overflow
+// spills to the shared pool). Orchestrator goroutine only.
+func (w *meshWorker) putBatch(b []verify.PackedState) {
+	if cap(b) == 0 {
+		return
+	}
+	if len(w.free) < meshFreeBatches {
+		w.free = append(w.free, b[:0])
+		return
+	}
+	putBatch(b)
+}
+
+// ensureLevel grows the level-indexed slices to hold level l. The
+// initial capacity covers typical search depths in one allocation per
+// slice; deeper runs fall back to append's doubling.
 func (w *meshWorker) ensureLevel(l int) {
+	if w.buckets == nil {
+		n := l + 1
+		if n < 64 {
+			n = 64
+		}
+		w.buckets = make([][]verify.PackedState, 0, n)
+		w.cursors = make([]int, 0, n)
+		w.pending = make([][][]verify.PackedState, 0, n)
+		w.freshAt = make([]int, 0, n)
+		w.sentByLevel = make([]int, 0, n)
+		w.recvByLevel = make([]int, 0, n)
+	}
 	for len(w.buckets) <= l {
 		w.buckets = append(w.buckets, nil)
 		w.cursors = append(w.cursors, 0)
@@ -287,25 +525,103 @@ func (w *meshWorker) ensureLevel(l int) {
 // ownership of the slice: levels ≤ final+1 enter the visited set (fresh
 // states join their bucket) and the slice is recycled; later tags defer
 // the whole slice uncopied; levels beyond the violation bound are dropped
-// (they can never reach the verdict).
+// (they can never reach the verdict). Committable batches big enough to
+// beat the spawn barrier fan across the lane pool into the striped set.
 func (w *meshWorker) absorb(level int, states []verify.PackedState) {
 	if w.haveBound && level > w.boundLevel {
-		putBatch(states)
+		w.putBatch(states)
 		return
 	}
 	w.ensureLevel(level)
 	if level > w.final+1 {
+		if w.pending[level] == nil && w.sparePending != nil {
+			w.pending[level], w.sparePending = w.sparePending, nil
+		}
 		w.pending[level] = append(w.pending[level], states)
 		return
 	}
 	w.visited.Reserve(len(states))
+	if w.lanes != nil && len(states) >= meshParallelThreshold && !w.tooLarge {
+		w.absorbParallel(level, states)
+		w.putBatch(states)
+		return
+	}
 	for _, s := range states {
 		w.commit1(level, s, w.exp.Hash(s))
 		if w.tooLarge {
 			return
 		}
 	}
-	putBatch(states)
+	w.putBatch(states)
+}
+
+// absorbParallel is the contention-free absorb path: lanes claim chunks
+// of the batch from an atomic cursor, hash each state once and insert it
+// into the striped visited set, staging fresh commits lane-locally; the
+// orchestrator folds the stages into the level bucket afterwards, so the
+// bucket and the per-level counters never see concurrent writers.
+func (w *meshWorker) absorbParallel(level int, states []verify.PackedState) {
+	var cursor, freshTotal atomic.Int64
+	freshTotal.Store(int64(w.fresh))
+	budget := int64(w.budget)
+	var tooLarge atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(len(w.lanes))
+	for _, ln := range w.lanes {
+		go func(ln *meshLane) {
+			defer wg.Done()
+			ln.next = ln.next[:0]
+			for {
+				lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
+				if lo >= len(states) || tooLarge.Load() {
+					return
+				}
+				hi := min(lo+meshLaneChunk, len(states))
+				for _, s := range states[lo:hi] {
+					if w.visited.AddHashed(s, w.exp.Hash(s)) {
+						if freshTotal.Add(1) > budget {
+							tooLarge.Store(true)
+							return
+						}
+						ln.next = append(ln.next, s)
+					}
+				}
+			}
+		}(ln)
+	}
+	wg.Wait()
+	w.commitMerged(level, tooLarge.Load())
+}
+
+// commitMerged folds the lanes' fresh commits of one parallel pass into
+// the level bucket and the counters the serial commit1 maintains.
+func (w *meshWorker) commitMerged(level int, tooLarge bool) {
+	if tooLarge {
+		w.tooLarge = true
+	}
+	total := 0
+	for _, ln := range w.lanes {
+		total += len(ln.next)
+	}
+	if total == 0 {
+		return
+	}
+	if len(w.buckets[level]) == 0 && cap(w.buckets[level]) == 0 {
+		w.buckets[level] = w.newBucket(level)
+	}
+	for _, ln := range w.lanes {
+		w.buckets[level] = append(w.buckets[level], ln.next...)
+		ln.next = ln.next[:0]
+	}
+	w.fresh += total
+	w.freshAt[level] += total
+	if level > w.maxFresh {
+		w.maxFresh = level
+	}
+	if w.haveBound && level > w.boundLevel {
+		// Committed beyond the verdict level: counted, never expanded.
+		w.cursors[level] = len(w.buckets[level])
+	}
 }
 
 // commit1 commits a single state under the same rule as absorb. h must be
@@ -318,15 +634,20 @@ func (w *meshWorker) commit1(level int, s verify.PackedState, h uint64) {
 	w.ensureLevel(level)
 	if level > w.final+1 {
 		lst := w.pending[level]
+		if lst == nil && w.sparePending != nil {
+			lst, w.sparePending = w.sparePending, nil
+		}
 		if n := len(lst); n == 0 || len(lst[n-1]) == cap(lst[n-1]) {
-			lst = append(lst, getBatch())
+			lst = append(lst, w.getBatch())
 		}
 		lst[len(lst)-1] = append(lst[len(lst)-1], s)
 		w.pending[level] = lst
 		return
 	}
 	if w.visited.AddHashed(s, h) {
-		if w.visited.Len() > w.budget {
+		// fresh tracks the set cardinality exactly (every counted add bumps
+		// it), so the budget check never takes the striped set's 64 locks.
+		if w.fresh+1 > w.budget {
 			w.tooLarge = true
 			return
 		}
@@ -343,13 +664,68 @@ func (w *meshWorker) commit1(level int, s verify.PackedState, h uint64) {
 }
 
 // newBucket sizes a level's frontier bucket from the previous level's
-// fresh count, so big levels fill without repeated growth copies.
+// fresh count, so big levels fill without repeated growth copies. Big
+// levels reuse spare buckets retired by recycleBucket when one fits —
+// the frontier/spare swap of the local drivers. Best fit, so a small
+// level does not squat in a peak-sized buffer the next big level needs.
 func (w *meshWorker) newBucket(level int) []verify.PackedState {
 	if level > 0 && w.freshAt[level-1] > meshBatchTarget {
 		n := w.freshAt[level-1] + w.freshAt[level-1]/4
-		return make([]verify.PackedState, 0, n)
+		best := -1
+		for i, sb := range w.spareBuckets {
+			if cap(sb) >= n && (best < 0 || cap(sb) < cap(w.spareBuckets[best])) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			b := w.spareBuckets[best]
+			last := len(w.spareBuckets) - 1
+			w.spareBuckets[best] = w.spareBuckets[last]
+			w.spareBuckets[last] = nil
+			w.spareBuckets = w.spareBuckets[:last]
+			return b
+		}
+		// Double the headroom: frontier sizes climb through the rising
+		// phase of the search, so a bucket sized to just this level would
+		// be too small to recycle into the next one — every big level of
+		// every run would then allocate its frontier anew. With the slack,
+		// a retired bucket absorbs the next level's growth and the
+		// frontier/spare swap holds through the climb.
+		return make([]verify.PackedState, 0, 2*n)
 	}
-	return getBatch()
+	return w.getBatch()
+}
+
+// meshSpareBuckets bounds the retired big-bucket stack: the pipelined
+// commit rule keeps a few levels in flight, so a retire burst of that
+// depth must fit or the next run's climb re-allocates what was dropped.
+const meshSpareBuckets = 32
+
+// recycleBucket retires a drained, final-level bucket: batch-sized ones
+// feed the free list, bigger ones become the spare the next big level is
+// built in, so resident memory tracks the frontier, not the whole
+// visited set — and steady-state levels allocate nothing.
+func (w *meshWorker) recycleBucket(l int) {
+	b := w.buckets[l]
+	w.buckets[l] = w.buckets[l][:0:0]
+	w.cursors[l] = 0
+	if cap(b) > meshBatchTarget {
+		if len(w.spareBuckets) < meshSpareBuckets {
+			w.spareBuckets = append(w.spareBuckets, b[:0])
+			return
+		}
+		small := 0
+		for i := range w.spareBuckets {
+			if cap(w.spareBuckets[i]) < cap(w.spareBuckets[small]) {
+				small = i
+			}
+		}
+		if cap(b) > cap(w.spareBuckets[small]) {
+			w.spareBuckets[small] = b[:0]
+		}
+		return
+	}
+	w.putBatch(b)
 }
 
 // setFinal raises the node's final-level knowledge, releasing deferred
@@ -364,6 +740,14 @@ func (w *meshWorker) setFinal(f int) {
 			w.pending[l] = nil
 			for _, b := range batches {
 				w.absorb(l, b)
+			}
+			// A flushed level never refills, but the next level defers the
+			// same way: keep the larger list backbone as the shared spare.
+			if cap(batches) > cap(w.sparePending) {
+				for i := range batches {
+					batches[i] = nil
+				}
+				w.sparePending = batches[:0]
 			}
 		}
 	}
@@ -390,7 +774,7 @@ func (w *meshWorker) noteBound(level int, s verify.PackedState) {
 			w.cursors[l] = len(w.buckets[l])
 		}
 		for _, b := range w.pending[l] {
-			putBatch(b)
+			w.putBatch(b)
 		}
 		w.pending[l] = nil
 	}
@@ -430,9 +814,10 @@ func (w *meshWorker) expandable() int {
 	return -1
 }
 
-// expandChunk expands up to n states from the lowest available bucket,
-// routing foreign successors over the mesh and committing self-owned ones
-// locally. Returns false when no work was available.
+// expandChunk expands up to n states (per lane when parallel) from the
+// lowest available bucket, routing foreign successors over the mesh and
+// committing self-owned ones locally. Returns false when no work was
+// available.
 func (w *meshWorker) expandChunk(n int) bool {
 	l := w.expandable()
 	if l < 0 {
@@ -453,17 +838,33 @@ func (w *meshWorker) expandChunk(n int) bool {
 		}
 		w.visited.Reserve(est)
 	}
+	if w.lanes != nil && len(w.buckets[l])-w.cursors[l] >= meshParallelThreshold && !w.tooLarge {
+		w.expandParallel(l, n*len(w.lanes))
+	} else {
+		w.expandSerial(l, n)
+	}
+	if w.cursors[l] == len(w.buckets[l]) && len(w.buckets[l]) > 0 && l <= w.final {
+		// The bucket is drained and — level final — can never refill.
+		w.recycleBucket(l)
+	}
+	return true
+}
+
+// expandSerial is the single-goroutine expansion loop: hash each
+// successor once during the packing sweep, then reuse the hash for shard
+// routing, the send filter and the visited probe.
+func (w *meshWorker) expandSerial(l, n int) {
 	for i := 0; i < n && w.cursors[l] < len(w.buckets[l]); i++ {
 		if w.tooLarge {
-			return true
+			return
 		}
 		s := w.buckets[l][w.cursors[l]]
 		w.cursors[l]++
 		if w.haveBound && l == w.boundLevel && verify.LessState(w.boundState, s) {
 			continue
 		}
-		succ, violApp := w.exp.SuccessorsInto(s, w.esc, w.succ[:0])
-		w.succ = succ[:0]
+		succ, violApp := w.exp.SuccessorsHashedInto(s, w.esc, w.hsucc[:0])
+		w.hsucc = succ[:0]
 		if violApp >= 0 {
 			w.noteViol(l, s, violApp)
 			continue
@@ -473,30 +874,184 @@ func (w *meshWorker) expandChunk(n int) bool {
 			continue // successors beyond the verdict level
 		}
 		for _, ns := range succ {
-			h := w.exp.Hash(ns)
-			if dst := owner(h, w.n); dst != w.id {
-				if w.filters[dst].slots != nil && w.filters[dst].seen(ns, h) {
+			if dst := owner(ns.H, w.n); dst != w.id {
+				if w.filters[dst].slots != nil && w.filters[dst].seen(ns.S, ns.H) {
 					w.filtered++
 				} else {
-					w.outBuf[dst] = append(w.outBuf[dst], ns)
+					w.outBuf[dst] = append(w.outBuf[dst], ns.S)
 					if len(w.outBuf[dst]) >= meshBatchTarget {
 						w.flushDest(dst)
 					}
 				}
 			} else {
-				w.commit1(l+1, ns, h)
+				w.commit1(l+1, ns.S, ns.H)
 			}
 		}
 	}
-	if w.cursors[l] == len(w.buckets[l]) && len(w.buckets[l]) > 0 && l <= w.final {
-		// The bucket is drained and — level final — can never refill:
-		// recycle it so resident memory tracks the frontier, not the
-		// whole visited set.
-		putBatch(w.buckets[l])
-		w.buckets[l] = w.buckets[l][:0:0]
-		w.cursors[l] = 0
+}
+
+// expandParallel fans a claim of up to n bucket states across the lane
+// pool. Two facts are frozen for the whole chunk on the orchestrator
+// side — whether level l+1 is committable (commit rule) and whether it is
+// beyond the violation bound — because only the orchestrator ever moves
+// them. A violation found mid-chunk therefore cannot retract the chunk's
+// other successors, which is safe: counts are only compared on
+// schedulable runs, and the minimum violator of the first violating
+// level can never be suppressed by a larger one (the skip bound only
+// drops states *greater* than the recorded minimum).
+func (w *meshWorker) expandParallel(l, n int) {
+	lo := w.cursors[l]
+	hi := min(lo+n, len(w.buckets[l]))
+	states := w.buckets[l][lo:hi]
+	w.cursors[l] = hi
+	commitOK := l+1 <= w.final+1
+	dropSucc := w.haveBound && l+1 > w.boundLevel
+	if commitOK {
+		w.ensureLevel(l + 1)
 	}
-	return true
+	var minViol atomic.Pointer[verify.PackedState]
+	if w.haveBound && l == w.boundLevel {
+		bs := w.boundState
+		minViol.Store(&bs)
+	}
+	var cursor, freshTotal atomic.Int64
+	freshTotal.Store(int64(w.fresh))
+	var tooLarge atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(len(w.lanes))
+	for _, ln := range w.lanes {
+		if !commitOK && ln.defr == nil {
+			ln.defr = w.getBatch()
+		}
+		go ln.run(w, states, &cursor, &minViol, &freshTotal, &tooLarge, commitOK, dropSucc, &wg)
+	}
+	wg.Wait()
+	w.mergeLanes(l, commitOK, tooLarge.Load())
+}
+
+// run is one lane's share of a parallel chunk: steal small ranges from
+// the cursor, expand each state through the lane's own scratch (hashing
+// during packing), and stage everything lane-locally — peer-owned
+// successors per destination, self-owned ones either straight into the
+// striped visited set (committable levels) or into the deferred batch.
+// The only shared writes are the striped set, the chunk atomics and the
+// minimum-violator CAS.
+func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
+	cursor *atomic.Int64, minViol *atomic.Pointer[verify.PackedState],
+	freshTotal *atomic.Int64, tooLarge *atomic.Bool,
+	commitOK, dropSucc bool, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ln.trans, ln.haveViol = 0, false
+	ln.next = ln.next[:0]
+	budget := int64(w.budget)
+	for {
+		lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
+		if lo >= len(states) || tooLarge.Load() {
+			return
+		}
+		hi := min(lo+meshLaneChunk, len(states))
+		for _, s := range states[lo:hi] {
+			if mv := minViol.Load(); mv != nil && verify.LessState(*mv, s) {
+				continue // a smaller violator at this level already wins
+			}
+			succ, violApp := w.exp.SuccessorsHashedInto(s, ln.esc, ln.succ[:0])
+			ln.succ = succ[:0]
+			if violApp >= 0 {
+				if !ln.haveViol || verify.LessState(s, ln.violState) {
+					ln.haveViol, ln.violState, ln.violApp = true, s, violApp
+				}
+				for { // tighten the shared skip bound (runParallel idiom)
+					mv := minViol.Load()
+					if mv != nil && !verify.LessState(s, *mv) {
+						break
+					}
+					ns := s
+					if minViol.CompareAndSwap(mv, &ns) {
+						break
+					}
+				}
+				continue
+			}
+			ln.trans += len(succ)
+			if dropSucc {
+				continue // successors beyond the verdict level
+			}
+			for _, ns := range succ {
+				if dst := owner(ns.H, w.n); dst != w.id {
+					ln.out[dst] = append(ln.out[dst], ns)
+				} else if !commitOK {
+					ln.defr = append(ln.defr, ns.S)
+				} else if w.visited.AddHashed(ns.S, ns.H) {
+					if freshTotal.Add(1) > budget {
+						tooLarge.Store(true)
+						return
+					}
+					ln.next = append(ln.next, ns.S)
+				}
+			}
+		}
+	}
+}
+
+// mergeLanes folds a parallel chunk's lane staging back into the
+// orchestrator's single-threaded state: transitions and the violation
+// minimum first (tightening the bound), then the fresh commits (or the
+// deferred batches, ownership transferred uncopied), and finally the
+// staged peer routes — pushed through each destination's recent-state
+// filter into the coalesced send buffer by this one goroutine, so the
+// per-level sent counts the epoch tracker sums stay exact.
+func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
+	level := l + 1
+	w.ensureLevel(level)
+	for _, ln := range w.lanes {
+		w.transitions += ln.trans
+		if ln.haveViol {
+			w.noteViol(l, ln.violState, ln.violApp)
+		}
+	}
+	if commitOK {
+		w.commitMerged(level, tooLarge)
+	} else {
+		for _, ln := range w.lanes {
+			if ln.defr == nil {
+				continue
+			}
+			if len(ln.defr) > 0 && !(w.haveBound && level > w.boundLevel) {
+				w.pending[level] = append(w.pending[level], ln.defr)
+			} else {
+				w.putBatch(ln.defr)
+			}
+			ln.defr = nil
+		}
+	}
+	if w.haveBound && level > w.boundLevel {
+		// The chunk's own violations doomed its successors: drop the
+		// staged routes, exactly as the serial path skips them.
+		for _, ln := range w.lanes {
+			for d := range ln.out {
+				ln.out[d] = ln.out[d][:0]
+			}
+		}
+		return
+	}
+	for d := range w.outBuf {
+		if d == w.id {
+			continue
+		}
+		for _, ln := range w.lanes {
+			for _, ns := range ln.out[d] {
+				if w.filters[d].slots != nil && w.filters[d].seen(ns.S, ns.H) {
+					w.filtered++
+					continue
+				}
+				w.outBuf[d] = append(w.outBuf[d], ns.S)
+				if len(w.outBuf[d]) >= meshBatchTarget {
+					w.flushDest(d)
+				}
+			}
+			ln.out[d] = ln.out[d][:0]
+		}
+	}
 }
 
 // flushDest ships one destination's buffered successors as a level-tagged
@@ -506,7 +1061,7 @@ func (w *meshWorker) flushDest(d int) {
 	if len(states) == 0 {
 		return
 	}
-	w.outBuf[d] = getBatch()
+	w.outBuf[d] = w.getBatch()
 	n, level := len(states), w.outLevel
 	w.ensureLevel(level)
 	w.sentByLevel[level] += n
@@ -590,12 +1145,16 @@ func (w *meshWorker) digest() meshDigest {
 	}
 }
 
-// snapshot builds a poll response from the cumulative counters.
+// snapshot builds a poll response from the cumulative counters, reusing
+// the flip buffer's slices (see snapResp).
 func (w *meshWorker) snapshot() *Response {
-	resp := &Response{
+	resp := &w.snapResp[w.snapFlip]
+	w.snapFlip ^= 1
+	*resp = Response{
 		Proto:       protoVersion,
-		SentByLevel: append([]int(nil), w.sentByLevel...),
-		RecvByLevel: append([]int(nil), w.recvByLevel...),
+		SentByLevel: append(resp.SentByLevel[:0], w.sentByLevel...),
+		RecvByLevel: append(resp.RecvByLevel[:0], w.recvByLevel...),
+		Links:       resp.Links[:0],
 		Drained:     w.drained(),
 		Idle:        w.idle(),
 		MaxFresh:    w.maxFresh,
@@ -749,7 +1308,7 @@ func (t *meshTracker) observe(resps []*Response) {
 	t.sent = t.sent[:0]
 	t.recv = t.recv[:0]
 	t.fresh, t.transitions, t.maxFresh = 0, 0, 0
-	t.wire = verify.WireStats{}
+	t.wire = verify.WireStats{Links: t.wire.Links[:0]}
 	for i, r := range resps {
 		t.drained[i] = r.Drained
 		t.idle[i] = r.Idle
@@ -845,12 +1404,14 @@ func (t *meshTracker) terminated() bool {
 }
 
 // control renders the tracker's knowledge for the next poll round.
-func (t *meshTracker) control() *Control {
-	c := &Control{Final: t.final, Done: t.done}
+// controlInto fills c with the tracker's current milestones. The
+// coordinator reuses one Control across rounds (workers read it inside
+// the call and never retain it), so the poll loop allocates none.
+func (t *meshTracker) controlInto(c *Control) {
+	*c = Control{Final: t.final, Done: t.done}
 	if t.haveViol {
 		c.HaveViol, c.ViolLevel, c.ViolState = true, t.violLevel, t.violState
 	}
-	return c
 }
 
 // newSessionID draws a random mesh-rendezvous token; daemons serving
@@ -867,6 +1428,82 @@ func newSessionID() uint64 {
 	return id
 }
 
+// meshPoller keeps one long-lived call goroutine per node so the poll
+// loop's rounds reuse the same machinery instead of spawning goroutines
+// and result slices every epoch (those per-round allocations grew with
+// the node count). Rounds stay concurrent — workers long-poll inside
+// Call, so a sequential round would serialize the cluster.
+type meshPoller struct {
+	reqs []chan *Request
+	done chan pollResult
+	errs []error
+}
+
+type pollResult struct {
+	i    int
+	resp *Response
+	err  error
+}
+
+func newMeshPoller(nodes []Transport) *meshPoller {
+	p := &meshPoller{
+		reqs: make([]chan *Request, len(nodes)),
+		done: make(chan pollResult, len(nodes)),
+		errs: make([]error, len(nodes)),
+	}
+	for i, tr := range nodes {
+		ch := make(chan *Request)
+		p.reqs[i] = ch
+		go func(i int, tr Transport, ch chan *Request) {
+			for req := range ch {
+				resp, err := tr.Call(req)
+				p.done <- pollResult{i, resp, err}
+			}
+		}(i, tr, ch)
+	}
+	return p
+}
+
+// round sends one request to every node (the request is shared and must
+// not be mutated until the round completes) and collects the responses
+// into resps, mirroring fanout's error contract.
+func (p *meshPoller) round(resps []*Response, req *Request) error {
+	for _, ch := range p.reqs {
+		ch <- req
+	}
+	return p.collect(resps)
+}
+
+// roundFn is round with a per-node request — Init carries each node's ID.
+func (p *meshPoller) roundFn(resps []*Response, req func(i int) *Request) error {
+	for i, ch := range p.reqs {
+		ch <- req(i)
+	}
+	return p.collect(resps)
+}
+
+func (p *meshPoller) collect(resps []*Response) error {
+	for range p.reqs {
+		r := <-p.done
+		resps[r.i], p.errs[r.i] = r.resp, r.err
+	}
+	for i, err := range p.errs {
+		if err != nil {
+			return fmt.Errorf("dverify: node %d: %w", i, err)
+		}
+		if resps[i].Err != "" {
+			return fmt.Errorf("dverify: node %d: %s", i, resps[i].Err)
+		}
+	}
+	return nil
+}
+
+func (p *meshPoller) close() {
+	for _, ch := range p.reqs {
+		close(ch)
+	}
+}
+
 // verifyMesh drives the mesh topology: Init wires the worker↔worker
 // links, then the coordinator runs the poll/epoch control plane until the
 // tracker proves termination, and a Finish round collects final counters.
@@ -875,15 +1512,17 @@ func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, erro
 	job.Mesh = true
 	job.Session = newSessionID()
 	job.Peers = peers
-	initResps, err := fanout(nodes, func(i int) *Request {
+	poller := newMeshPoller(nodes)
+	defer poller.close()
+	resps := make([]*Response, len(nodes))
+	if err := poller.roundFn(resps, func(i int) *Request {
 		j := job
 		j.NodeID = i
 		return &Request{Kind: KindInit, Job: &j}
-	})
-	if err != nil {
+	}); err != nil {
 		return res, err
 	}
-	for i, r := range initResps {
+	for i, r := range resps {
 		if r.Proto != protoVersion {
 			return res, fmt.Errorf("dverify: node %d speaks protocol %d, coordinator %d (restart verifyd with the current build)",
 				i, r.Proto, protoVersion)
@@ -891,15 +1530,19 @@ func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, erro
 	}
 
 	tr := newMeshTracker(len(nodes))
+	var ctl Control
 	finish := func() ([]*Response, error) {
-		ctl := tr.control()
+		tr.controlInto(&ctl)
 		ctl.Finish = true
-		return fanout(nodes, func(int) *Request { return &Request{Kind: KindPoll, Ctl: ctl} })
+		if err := poller.round(resps, &Request{Kind: KindPoll, Ctl: &ctl}); err != nil {
+			return nil, err
+		}
+		return resps, nil
 	}
+	req := &Request{Kind: KindPoll, Ctl: &ctl}
 	for {
-		ctl := tr.control()
-		resps, err := fanout(nodes, func(int) *Request { return &Request{Kind: KindPoll, Ctl: ctl} })
-		if err != nil {
+		tr.controlInto(&ctl)
+		if err := poller.round(resps, req); err != nil {
 			// The run is poisoned; surviving workers tear down when their
 			// session ends (transport Close / next Init).
 			return res, err

@@ -2,6 +2,10 @@ package dverify
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
@@ -49,12 +53,62 @@ func (f *sendFilter) seen(s verify.PackedState, h uint64) bool {
 	return false
 }
 
+// effectiveWorkers resolves the job's pool size the way the workers do: 0
+// means the node's own GOMAXPROCS. Reuse compatibility compares resolved
+// sizes, so a daemon whose GOMAXPROCS moved between runs rebuilds.
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// jobsCompatible reports whether a worker built for prev can be reused for
+// next: everything that shaped its expander, visited partition, lane pool
+// and cluster placement must be identical, leaving only per-run search
+// state to reset. Session, Peers and MaxStates may differ — they never
+// shape worker memory (the budget is re-read at reinit). This is what
+// makes a standing cluster cheap to re-Init: the bench loop and a daemon
+// re-verifying the same slot skip the expander rebuild and the visited
+// reallocation entirely.
+func jobsCompatible(prev, next *Job) bool {
+	if prev == nil || next == nil ||
+		prev.NumNodes != next.NumNodes || prev.NodeID != next.NodeID ||
+		prev.MaxDisturbances != next.MaxDisturbances || prev.Policy != next.Policy ||
+		prev.NondetTies != next.NondetTies || prev.SymmetryReduction != next.SymmetryReduction ||
+		prev.Mesh != next.Mesh ||
+		effectiveWorkers(prev.Workers) != effectiveWorkers(next.Workers) ||
+		len(prev.Profiles) != len(next.Profiles) {
+		return false
+	}
+	for i := range prev.Profiles {
+		if !profilesEqual(&prev.Profiles[i], &next.Profiles[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// profilesEqual compares the full precomputed profile — the expander is a
+// pure function of it, so equality here is what licenses expander reuse.
+func profilesEqual(a, b *switching.Profile) bool {
+	return a.Name == b.Name && a.JStar == b.JStar && a.R == b.R &&
+		a.JT == b.JT && a.JE == b.JE && a.TwStar == b.TwStar &&
+		a.Granularity == b.Granularity &&
+		slices.Equal(a.TdwMinus, b.TdwMinus) && slices.Equal(a.TdwPlus, b.TdwPlus) &&
+		slices.Equal(a.JBest, b.JBest) && slices.Equal(a.JAtMin, b.JAtMin)
+}
+
 // node is one worker's share of a running search: the visited-set
 // partition, the current and next frontiers, the per-destination routing
 // state (pending successors, recent-state filter, encoded batch) of the
-// hash-routed exchange, and the expansion scratch.
+// hash-routed exchange, and the expansion scratch. With workers > 1 the
+// level step fans across a lane pool over a striped visited set, just
+// like the mesh workers; stored mirrors the partition's cardinality so
+// budget checks never take the striped set's locks.
 type node struct {
 	id, n     int
+	job       *Job // what the node was built for (reuse compatibility)
 	exp       *verify.Expander
 	budget    int
 	visited   *verify.StateSet
@@ -64,21 +118,32 @@ type node struct {
 	outBytes  [][]byte               // per-destination encoded batches
 	filters   []sendFilter           // per-destination recent-state filters
 	codec     *frontierCodec
-	scratch   []verify.PackedState // successor / decode buffer
+	scratch   []verify.PackedState // decode buffer
+	hsucc     []verify.HashedState // successor buffer (serial expansion)
 	esc       *verify.ExpandScratch
+	lanes     []*meshLane // nil when workers == 1
+	stored    int
 	tooLarge  bool
+	// initResp backs reinit's Init reply; the previous one is long
+	// consumed by the time a follow-up job re-Inits the node.
+	initResp Response
 }
 
 // newNode builds a node for the job, seeding the initial state on its
 // owner. The returned Response reports the seed (Fresh/Next) so the
-// coordinator can start its level loop with consistent counts.
-func newNode(job *Job) (*node, *Response, error) {
+// coordinator can start its level loop with consistent counts. A previous
+// node whose job is compatible is reinitialized in place instead, reusing
+// its expander, visited partition and buffers.
+func newNode(job *Job, prev *node) (*node, *Response, error) {
 	if job.Proto != protoVersion {
 		return nil, nil, fmt.Errorf("dverify: coordinator speaks protocol %d, this worker speaks %d (rebuild the older side)",
 			job.Proto, protoVersion)
 	}
 	if job.NumNodes < 1 || job.NodeID < 0 || job.NodeID >= job.NumNodes {
 		return nil, nil, fmt.Errorf("dverify: node %d of %d is not a valid placement", job.NodeID, job.NumNodes)
+	}
+	if prev != nil && jobsCompatible(prev.job, job) {
+		return prev.reinit(job)
 	}
 	profs := make([]*switching.Profile, len(job.Profiles))
 	for i := range job.Profiles {
@@ -97,17 +162,31 @@ func newNode(job *Job) (*node, *Response, error) {
 	if budget <= 0 {
 		budget = defaultMaxStates
 	}
+	workers := effectiveWorkers(job.Workers)
 	nd := &node{
 		id:        job.NodeID,
 		n:         job.NumNodes,
+		job:       job,
 		exp:       exp,
 		budget:    budget,
-		visited:   exp.NewSet(1 << 12),
 		outStates: make([][]verify.PackedState, job.NumNodes),
 		outBytes:  make([][]byte, job.NumNodes),
 		filters:   make([]sendFilter, job.NumNodes),
 		codec:     newFrontierCodec(exp),
 		esc:       exp.NewScratch(),
+	}
+	if workers > 1 {
+		nd.visited = exp.NewShardedSet(1 << 12)
+		nd.lanes = make([]*meshLane, workers)
+		for i := range nd.lanes {
+			nd.lanes[i] = &meshLane{
+				esc:     exp.NewScratch(),
+				out:     make([][]verify.HashedState, job.NumNodes),
+				violApp: -1,
+			}
+		}
+	} else {
+		nd.visited = exp.NewSet(1 << 12)
 	}
 	for d := range nd.filters {
 		if d != nd.id {
@@ -118,6 +197,43 @@ func newNode(job *Job) (*node, *Response, error) {
 	if init := exp.Initial(); owner(exp.Hash(init), nd.n) == nd.id {
 		nd.visited.Add(init)
 		nd.next = append(nd.next, init)
+		nd.stored = 1
+		resp.Fresh, resp.Next = 1, 1
+	}
+	return nd, resp, nil
+}
+
+// reinit rebuilds the node in place for a compatible follow-up job: the
+// expander, visited partition, lane pool, codec and routing buffers all
+// survive, so a standing worker re-Inits without repeating the dominant
+// per-run allocations (the visited tables above all). Only per-run search
+// state is cleared.
+func (nd *node) reinit(job *Job) (*node, *Response, error) {
+	nd.job = job
+	nd.budget = job.MaxStates
+	if nd.budget <= 0 {
+		nd.budget = defaultMaxStates
+	}
+	nd.visited.Reset()
+	nd.frontier = nd.frontier[:0]
+	nd.next = nd.next[:0]
+	for d := range nd.outStates {
+		nd.outStates[d] = nd.outStates[d][:0]
+		nd.outBytes[d] = nd.outBytes[d][:0]
+		if nd.filters[d].slots != nil {
+			clear(nd.filters[d].slots)
+		}
+	}
+	for _, ln := range nd.lanes {
+		ln.reset()
+	}
+	nd.stored, nd.tooLarge = 0, false
+	resp := &nd.initResp
+	*resp = Response{Proto: protoVersion, ViolApp: -1}
+	if init := nd.exp.Initial(); owner(nd.exp.Hash(init), nd.n) == nd.id {
+		nd.visited.Add(init)
+		nd.next = append(nd.next, init)
+		nd.stored = 1
 		resp.Fresh, resp.Next = 1, 1
 	}
 	return nd, resp, nil
@@ -136,39 +252,10 @@ func (nd *node) step() *Response {
 		nd.outStates[i] = nd.outStates[i][:0]
 	}
 	resp := &Response{ViolApp: -1}
-	for _, s := range nd.frontier {
-		if resp.Viol && verify.LessState(resp.ViolState, s) {
-			continue
-		}
-		succ, violApp := nd.exp.SuccessorsInto(s, nd.esc, nd.scratch[:0])
-		nd.scratch = succ[:0]
-		if violApp >= 0 {
-			if !resp.Viol || verify.LessState(s, resp.ViolState) {
-				resp.Viol, resp.ViolState, resp.ViolApp = true, s, violApp
-			}
-			continue
-		}
-		resp.Transitions += len(succ)
-		for _, ns := range succ {
-			h := nd.exp.Hash(ns)
-			if dst := owner(h, nd.n); dst != nd.id {
-				if nd.filters[dst].seen(ns, h) {
-					resp.Filtered++
-				} else {
-					nd.outStates[dst] = append(nd.outStates[dst], ns)
-				}
-			} else if nd.visited.Add(ns) {
-				if nd.visited.Len() > nd.budget {
-					nd.tooLarge = true
-					break
-				}
-				nd.next = append(nd.next, ns)
-				resp.Fresh++
-			}
-		}
-		if nd.tooLarge {
-			break
-		}
+	if nd.lanes != nil && len(nd.frontier) >= meshParallelThreshold && !nd.tooLarge {
+		nd.stepParallel(resp)
+	} else {
+		nd.stepSerial(resp)
 	}
 	for d := range nd.outStates {
 		nd.outBytes[d] = nd.codec.encode(nd.outStates[d], nd.outBytes[d][:0])
@@ -180,6 +267,142 @@ func (nd *node) step() *Response {
 	resp.Next = len(nd.next)
 	resp.TooLarge = nd.tooLarge
 	return resp
+}
+
+// stepSerial is the single-goroutine level step, hashing each successor
+// once during the packing sweep (routing, filter and visited probe all
+// reuse it).
+func (nd *node) stepSerial(resp *Response) {
+	for _, s := range nd.frontier {
+		if resp.Viol && verify.LessState(resp.ViolState, s) {
+			continue
+		}
+		succ, violApp := nd.exp.SuccessorsHashedInto(s, nd.esc, nd.hsucc[:0])
+		nd.hsucc = succ[:0]
+		if violApp >= 0 {
+			if !resp.Viol || verify.LessState(s, resp.ViolState) {
+				resp.Viol, resp.ViolState, resp.ViolApp = true, s, violApp
+			}
+			continue
+		}
+		resp.Transitions += len(succ)
+		for _, ns := range succ {
+			if dst := owner(ns.H, nd.n); dst != nd.id {
+				if nd.filters[dst].seen(ns.S, ns.H) {
+					resp.Filtered++
+				} else {
+					nd.outStates[dst] = append(nd.outStates[dst], ns.S)
+				}
+			} else if nd.visited.AddHashed(ns.S, ns.H) {
+				nd.stored++
+				if nd.stored > nd.budget {
+					nd.tooLarge = true
+					break
+				}
+				nd.next = append(nd.next, ns.S)
+				resp.Fresh++
+			}
+		}
+		if nd.tooLarge {
+			break
+		}
+	}
+}
+
+// stepParallel fans the frontier across the lane pool: lanes steal
+// chunks from an atomic cursor, expand through their own scratch, commit
+// self-owned successors straight into the striped visited set and stage
+// peer-owned ones per destination; the merge pushes the stages through
+// the recent-state filters single-threaded, so filter state and the
+// outgoing batches never see concurrent writers. The minimum violator
+// stays exact for the same reason as the mesh lanes: the CAS bound only
+// skips frontier states greater than a recorded violator.
+func (nd *node) stepParallel(resp *Response) {
+	var minViol atomic.Pointer[verify.PackedState]
+	var cursor, storedTotal atomic.Int64
+	storedTotal.Store(int64(nd.stored))
+	budget := int64(nd.budget)
+	var tooLarge atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(len(nd.lanes))
+	for _, ln := range nd.lanes {
+		go func(ln *meshLane) {
+			defer wg.Done()
+			ln.trans, ln.haveViol = 0, false
+			ln.next = ln.next[:0]
+			for {
+				lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
+				if lo >= len(nd.frontier) || tooLarge.Load() {
+					return
+				}
+				hi := min(lo+meshLaneChunk, len(nd.frontier))
+				for _, s := range nd.frontier[lo:hi] {
+					if mv := minViol.Load(); mv != nil && verify.LessState(*mv, s) {
+						continue
+					}
+					succ, violApp := nd.exp.SuccessorsHashedInto(s, ln.esc, ln.succ[:0])
+					ln.succ = succ[:0]
+					if violApp >= 0 {
+						if !ln.haveViol || verify.LessState(s, ln.violState) {
+							ln.haveViol, ln.violState, ln.violApp = true, s, violApp
+						}
+						for {
+							mv := minViol.Load()
+							if mv != nil && !verify.LessState(s, *mv) {
+								break
+							}
+							vs := s
+							if minViol.CompareAndSwap(mv, &vs) {
+								break
+							}
+						}
+						continue
+					}
+					ln.trans += len(succ)
+					for _, ns := range succ {
+						if dst := owner(ns.H, nd.n); dst != nd.id {
+							ln.out[dst] = append(ln.out[dst], ns)
+						} else if nd.visited.AddHashed(ns.S, ns.H) {
+							if storedTotal.Add(1) > budget {
+								tooLarge.Store(true)
+								return
+							}
+							ln.next = append(ln.next, ns.S)
+						}
+					}
+				}
+			}
+		}(ln)
+	}
+	wg.Wait()
+	nd.stored = int(storedTotal.Load())
+	if tooLarge.Load() {
+		nd.tooLarge = true
+	}
+	for _, ln := range nd.lanes {
+		resp.Transitions += ln.trans
+		if ln.haveViol && (!resp.Viol || verify.LessState(ln.violState, resp.ViolState)) {
+			resp.Viol, resp.ViolState, resp.ViolApp = true, ln.violState, ln.violApp
+		}
+		nd.next = append(nd.next, ln.next...)
+		resp.Fresh += len(ln.next)
+		ln.next = ln.next[:0]
+	}
+	for d := range nd.outStates {
+		if d == nd.id {
+			continue
+		}
+		for _, ln := range nd.lanes {
+			for _, ns := range ln.out[d] {
+				if nd.filters[d].seen(ns.S, ns.H) {
+					resp.Filtered++
+				} else {
+					nd.outStates[d] = append(nd.outStates[d], ns.S)
+				}
+			}
+			ln.out[d] = ln.out[d][:0]
+		}
+	}
 }
 
 // absorb merges the routed successor batches owned by this node into its
@@ -198,7 +421,8 @@ func (nd *node) absorb(batches [][]byte) *Response {
 				break
 			}
 			if nd.visited.Add(s) {
-				if nd.visited.Len() > nd.budget {
+				nd.stored++
+				if nd.stored > nd.budget {
 					nd.tooLarge = true
 					break
 				}
@@ -261,19 +485,22 @@ func (h *handler) handle(req *Request) *Response {
 		if h.acquire != nil && !h.acquire() {
 			return &Response{Err: "worker is busy with another coordinator session (one cluster per worker)"}
 		}
+		// Keep the torn-down workers around as reuse donors: a compatible
+		// follow-up job reinitializes one in place instead of rebuilding.
+		prevMW, prevND := h.mw, h.nd
 		h.reset()
 		if req.Job.Mesh {
 			if h.env == nil {
 				return &Response{Err: "this transport cannot form a worker mesh"}
 			}
-			mw, resp, err := newMeshWorker(req.Job, h.env)
+			mw, resp, err := newMeshWorker(req.Job, h.env, prevMW)
 			if err != nil {
 				return &Response{Err: err.Error()}
 			}
 			h.mw = mw
 			return resp
 		}
-		nd, resp, err := newNode(req.Job)
+		nd, resp, err := newNode(req.Job, prevND)
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}

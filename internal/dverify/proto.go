@@ -24,11 +24,13 @@ import (
 // verifyd daemon), corrupting the search with no error. KindInit therefore
 // carries the coordinator's version in Job.Proto and the node echoes its
 // own in Response.Proto, so either side rejects a mismatch loudly before
-// any frontier is exchanged. Version 3 is the PR-5 protocol (worker↔worker
-// mesh links, pipelined levels, poll/epoch control plane); version 2 is the
-// PR-4 relay protocol (per-source absorb batch lists, codec-framed); PR-3
-// binaries predate the field and present as version 0.
-const protoVersion = 3
+// any frontier is exchanged. Version 4 is the PR-6 protocol (per-node
+// expansion worker pools: Job carries Workers); version 3 is the PR-5
+// protocol (worker↔worker mesh links, pipelined levels, poll/epoch control
+// plane); version 2 is the PR-4 relay protocol (per-source absorb batch
+// lists, codec-framed); PR-3 binaries predate the field and present as
+// version 0.
+const protoVersion = 4
 
 // Kind discriminates coordinator requests.
 type Kind uint8
@@ -56,8 +58,8 @@ const (
 
 // Job describes one verification run from a single worker node's
 // perspective. The verification fields mirror the verdict-relevant subset
-// of verify.Config; Workers, Trace and Distributed are coordinator-side
-// concerns and never cross the wire.
+// of verify.Config plus the per-node Workers pool size; Trace and
+// Distributed are coordinator-side concerns and never cross the wire.
 type Job struct {
 	// Proto is the coordinator's protocol version (protoVersion); nodes
 	// reject jobs from a different one.
@@ -77,6 +79,11 @@ type Job struct {
 	// MaxStates is the per-node visited budget (per-node memory model):
 	// the aggregate capacity of a run is NumNodes × MaxStates.
 	MaxStates int
+	// Workers is the per-node expansion pool size: the node expands its
+	// frontier through this many goroutines over a striped visited set,
+	// so an N-node cluster of M-core hosts searches N×M-wide. 0 means
+	// the node's own GOMAXPROCS; 1 keeps the single-goroutine path.
+	Workers int
 
 	// Mesh selects the direct worker↔worker exchange: the node opens (or
 	// accepts) one data link per peer at Init and the coordinator drives

@@ -151,3 +151,33 @@ func TestExpanderSuccessorsIntoAllocFree(t *testing.T) {
 		t.Fatalf("SuccessorsInto allocates %.1f times per sweep, want 0", allocs)
 	}
 }
+
+// TestExpanderSuccessorsHashedIntoAllocFree pins the batched-hashing
+// variant the mesh workers drive: hashing during the packing sweep must
+// not reintroduce allocation on the steady-state expansion path.
+func TestExpanderSuccessorsHashedIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI job")
+	}
+	e, err := NewExpander(fleet(4, 6, 1, 2, 10), Config{NondetTies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := e.NewScratch()
+	out, app := e.SuccessorsHashedInto(e.Initial(), sc, nil)
+	if app >= 0 {
+		t.Fatal("initial expansion violated")
+	}
+	states := make([]PackedState, len(out))
+	for i := range out {
+		states[i] = out[i].S
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, s := range states {
+			out, _ = e.SuccessorsHashedInto(s, sc, out[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SuccessorsHashedInto allocates %.1f times per sweep, want 0", allocs)
+	}
+}

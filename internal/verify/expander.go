@@ -109,6 +109,45 @@ func (e *Expander) SuccessorsInto(s PackedState, scr *ExpandScratch, out []Packe
 	return out, -1
 }
 
+// HashedState pairs a packed state with its Expander.Hash. It is the unit
+// of the batched-hashing expansion path: SuccessorsHashedInto mixes each
+// successor while it is still hot from the packing sweep, and the driver
+// carries the hash from shard routing through the send filter to the
+// visited-set probe — one mix per expanded state on the whole hot path.
+type HashedState struct {
+	S PackedState
+	H uint64
+}
+
+// SuccessorsHashedInto is SuccessorsInto with the hash computed during the
+// packing sweep over the scratch arena, so callers that route or dedup by
+// hash never mix a state twice. The contract is otherwise identical: on a
+// violation out is returned unchanged, and the scratch's arena is
+// overwritten on every call.
+func (e *Expander) SuccessorsHashedInto(s PackedState, scr *ExpandScratch, out []HashedState) ([]HashedState, int) {
+	v, sc := e.v, &scr.sc
+	if v.wide {
+		v.unpackWide(wstate(s), &sc.base)
+	} else {
+		v.unpack(s[0], &sc.base)
+	}
+	if viol := v.expand(&sc.base, sc); viol >= 0 {
+		return out, viol
+	}
+	if v.wide {
+		for i := range sc.states {
+			ws := v.packWide(&sc.states[i])
+			out = append(out, HashedState{S: PackedState(ws), H: hashW(ws)})
+		}
+	} else {
+		for i := range sc.states {
+			ns := v.pack(&sc.states[i])
+			out = append(out, HashedState{S: PackedState{ns}, H: hashU64(ns)})
+		}
+	}
+	return out, -1
+}
+
 // Successors is SuccessorsInto over a pooled scratch: safe for concurrent
 // use, at the cost of the pool round-trip. Hot drivers hold their own
 // scratch and call SuccessorsInto directly.
@@ -184,18 +223,40 @@ func (e *Expander) NewSet(capacity int) *StateSet {
 	return &StateSet{narrow: newU64Set(capacity)}
 }
 
+// NewShardedSet returns a visited set striped 64-way by hash — the same
+// sharding as the local parallel searches — for drivers that absorb
+// states from several goroutines at once. Add and AddHashed are safe for
+// concurrent use and contend only when two states share a stripe; Len and
+// Reserve lock every stripe, so drivers keep them off the hot path (count
+// fresh adds instead) and call Reserve only between levels.
+func (e *Expander) NewShardedSet(capacity int) *StateSet {
+	if e.v.wide {
+		return &StateSet{shWide: newShardedWideSet(capacity)}
+	}
+	return &StateSet{shNarrow: newShardedU64Set(capacity)}
+}
+
 // StateSet is an open-addressing set of PackedStates backing one search
-// driver's visited partition. Exactly one of the two underlying sets is
-// non-nil, matching the encoding of the Expander that created it.
+// driver's visited partition. Exactly one of the underlying sets is
+// non-nil, matching the encoding of the Expander that created it and the
+// concurrency of the constructor (NewSet single-goroutine, NewShardedSet
+// striped).
 type StateSet struct {
-	narrow *u64Set
-	wide   *wideSet
+	narrow   *u64Set
+	wide     *wideSet
+	shNarrow *shardedU64Set
+	shWide   *shardedWideSet
 }
 
 // Add inserts k and reports whether it was absent.
 func (s *StateSet) Add(k PackedState) bool {
-	if s.wide != nil {
+	switch {
+	case s.wide != nil:
 		return s.wide.add(wstate(k))
+	case s.shNarrow != nil:
+		return s.shNarrow.add(k[0])
+	case s.shWide != nil:
+		return s.shWide.add(wstate(k))
 	}
 	return s.narrow.add(k[0])
 }
@@ -203,28 +264,63 @@ func (s *StateSet) Add(k PackedState) bool {
 // AddHashed is Add with the state's Expander.Hash precomputed — drivers
 // that already hashed the state for shard routing skip the second mix.
 func (s *StateSet) AddHashed(k PackedState, h uint64) bool {
-	if s.wide != nil {
+	switch {
+	case s.wide != nil:
 		return s.wide.addHashed(wstate(k), h)
+	case s.shNarrow != nil:
+		return s.shNarrow.addHashed(k[0], h)
+	case s.shWide != nil:
+		return s.shWide.addHashed(wstate(k), h)
 	}
 	return s.narrow.addHashed(k[0], h)
 }
 
-// Len returns the number of stored states.
+// Len returns the number of stored states. On a sharded set it locks
+// every stripe — search drivers track their own fresh-add counters for
+// budget checks instead of calling this per insert.
 func (s *StateSet) Len() int {
-	if s.wide != nil {
+	switch {
+	case s.wide != nil:
 		return s.wide.len()
+	case s.shNarrow != nil:
+		return s.shNarrow.len()
+	case s.shWide != nil:
+		return s.shWide.len()
 	}
 	return s.narrow.len()
 }
 
-// Reserve grows the set — in a single rehash — until it can absorb n more
-// states without exceeding the load factor. Search drivers call it with
-// the expected fanout of the coming level so inserts never rehash
-// mid-level, exactly like the internal BFS drivers.
+// Reserve grows the set — in a single rehash per stripe — until it can
+// absorb n more states without exceeding the load factor. Search drivers
+// call it with the expected fanout of the coming level so inserts never
+// rehash mid-level, exactly like the internal BFS drivers.
 func (s *StateSet) Reserve(n int) {
-	if s.wide != nil {
+	switch {
+	case s.wide != nil:
 		s.wide.reserve(n)
-		return
+	case s.shNarrow != nil:
+		s.shNarrow.reserve(n)
+	case s.shWide != nil:
+		s.shWide.reserve(n)
+	default:
+		s.narrow.reserve(n)
 	}
-	s.narrow.reserve(n)
+}
+
+// Reset empties the set in place, keeping the tables at their grown sizes.
+// A standing worker serving repeated runs clears its visited partition
+// instead of reallocating it — the dominant per-run allocation otherwise.
+// Not safe concurrently with Add; callers reset between runs, when the
+// lanes are quiescent.
+func (s *StateSet) Reset() {
+	switch {
+	case s.wide != nil:
+		s.wide.reset()
+	case s.shNarrow != nil:
+		s.shNarrow.reset()
+	case s.shWide != nil:
+		s.shWide.reset()
+	default:
+		s.narrow.reset()
+	}
 }

@@ -131,6 +131,66 @@ func TestExpanderBatchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSuccessorsHashedIntoMatches pins the batched-hashing expansion
+// path: on both encodings it must produce exactly SuccessorsInto's
+// states in the same order, each paired with its Expander.Hash — the
+// "hashed exactly once" contract of the mesh workers' hot path — and
+// surface violations with out unchanged, like SuccessorsInto.
+func TestSuccessorsHashedIntoMatches(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ps   []*switching.Profile
+	}{
+		{"narrow", fleet(3, 5, 2, 4, 20)},
+		{"wide", fleet(7, 6, 1, 2, 10)},
+	} {
+		e, err := NewExpander(tc.ps, Config{NondetTies: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sc, hsc := e.NewScratch(), e.NewScratch()
+		var plain []PackedState
+		var hashed []HashedState
+		frontier := []PackedState{e.Initial()}
+		seen := e.NewSet(64)
+		seen.Add(frontier[0])
+		for level := 0; level < 3 && len(frontier) > 0; level++ {
+			var next []PackedState
+			for _, s := range frontier {
+				var appP, appH int
+				plain, appP = e.SuccessorsInto(s, sc, plain[:0])
+				hashed, appH = e.SuccessorsHashedInto(s, hsc, hashed[:0])
+				if appP != appH {
+					t.Fatalf("%s: violator %d via hashed path, %d plain", tc.name, appH, appP)
+				}
+				if appP >= 0 {
+					if len(hashed) != 0 {
+						t.Fatalf("%s: violation appended %d hashed successors", tc.name, len(hashed))
+					}
+					continue
+				}
+				if len(hashed) != len(plain) {
+					t.Fatalf("%s: %d hashed successors, %d plain", tc.name, len(hashed), len(plain))
+				}
+				for i := range plain {
+					if hashed[i].S != plain[i] {
+						t.Fatalf("%s: successor %d: %v hashed, %v plain", tc.name, i, hashed[i].S, plain[i])
+					}
+					if hashed[i].H != e.Hash(plain[i]) {
+						t.Fatalf("%s: successor %d: carried hash %#x, Hash says %#x", tc.name, i, hashed[i].H, e.Hash(plain[i]))
+					}
+				}
+				for _, ns := range plain {
+					if seen.Add(ns) {
+						next = append(next, ns)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+}
+
 // TestLessStateMatchesEncodings: the exported order must coincide with the
 // raw uint64 order on narrow embeddings and lessW on wide states.
 func TestLessStateMatchesEncodings(t *testing.T) {

@@ -40,9 +40,18 @@ func newShardedU64Set(capacity int) *shardedU64Set {
 
 // add inserts k and reports whether it was absent. Safe for concurrent use.
 func (s *shardedU64Set) add(k uint64) bool {
-	sh := &s.shards[hashU64(k)>>(64-shardBits)]
+	return s.addHashed(k, hashU64(k))
+}
+
+// addHashed is add with the key's hash precomputed — drivers that already
+// hashed a state for shard routing (the mesh workers' expansion lanes)
+// skip the second mix. Safe for concurrent use: the stripe is selected by
+// the hash's top bits, so two goroutines contend only when their states
+// share a stripe.
+func (s *shardedU64Set) addHashed(k, h uint64) bool {
+	sh := &s.shards[h>>(64-shardBits)]
 	sh.mu.Lock()
-	fresh := sh.set.add(k)
+	fresh := sh.set.addHashed(k, h)
 	sh.mu.Unlock()
 	return fresh
 }
@@ -69,6 +78,18 @@ func (s *shardedU64Set) reserve(n int) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.set.reserve(per)
+		sh.mu.Unlock()
+	}
+}
+
+// reset empties every shard in place, keeping the tables at their grown
+// sizes. Callers guarantee quiescence (no concurrent adds); the locks are
+// still taken so the happens-before edge to the next run's lanes is free.
+func (s *shardedU64Set) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.set.reset()
 		sh.mu.Unlock()
 	}
 }
@@ -114,9 +135,15 @@ func newShardedWideSet(capacity int) *shardedWideSet {
 
 // add inserts k and reports whether it was absent. Safe for concurrent use.
 func (s *shardedWideSet) add(k wstate) bool {
-	sh := &s.shards[hashW(k)>>(64-shardBits)]
+	return s.addHashed(k, hashW(k))
+}
+
+// addHashed is add with the key's hash precomputed (see
+// shardedU64Set.addHashed). Safe for concurrent use.
+func (s *shardedWideSet) addHashed(k wstate, h uint64) bool {
+	sh := &s.shards[h>>(64-shardBits)]
 	sh.mu.Lock()
-	fresh := sh.set.add(k)
+	fresh := sh.set.addHashed(k, h)
 	sh.mu.Unlock()
 	return fresh
 }
@@ -141,6 +168,16 @@ func (s *shardedWideSet) reserve(n int) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.set.reserve(per)
+		sh.mu.Unlock()
+	}
+}
+
+// reset empties every shard in place (see shardedU64Set.reset).
+func (s *shardedWideSet) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.set.reset()
 		sh.mu.Unlock()
 	}
 }

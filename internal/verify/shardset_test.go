@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedSetConcurrentAddHashedExact hammers addHashed from many
+// goroutines inserting overlapping key ranges and asserts exact
+// cardinality: every distinct key is admitted exactly once (the summed
+// fresh count equals the distinct count equals len), on both encodings.
+// This is the correctness contract the mesh workers' lane pools lean on —
+// a lost or double admission would corrupt the distributed state counts.
+func TestShardedSetConcurrentAddHashedExact(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+		distinct   = 5000
+	)
+	t.Run("narrow", func(t *testing.T) {
+		s := newShardedU64Set(64) // deliberately small: grows under contention
+		var fresh atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					k := uint64(1 + (i+g*7919)%distinct) // nonzero, overlapping across goroutines
+					if s.addHashed(k, hashU64(k)) {
+						fresh.Add(1)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := s.len(); got != distinct {
+			t.Fatalf("len = %d after concurrent adds, want %d", got, distinct)
+		}
+		if got := int(fresh.Load()); got != distinct {
+			t.Fatalf("%d fresh admissions, want exactly %d", got, distinct)
+		}
+		for k := uint64(1); k <= distinct; k++ {
+			if !s.contains(k) {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+	})
+	t.Run("wide", func(t *testing.T) {
+		s := newShardedWideSet(64)
+		key := func(i int) wstate {
+			k := uint64(i)
+			return wstate{k, k * 0x9e3779b97f4a7c15, ^k, 1} // word 3 keeps the zero sentinel free
+		}
+		var fresh atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					k := key(1 + (i+g*7919)%distinct)
+					if s.addHashed(k, hashW(k)) {
+						fresh.Add(1)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := s.len(); got != distinct {
+			t.Fatalf("len = %d after concurrent adds, want %d", got, distinct)
+		}
+		if got := int(fresh.Load()); got != distinct {
+			t.Fatalf("%d fresh admissions, want exactly %d", got, distinct)
+		}
+		for i := 1; i <= distinct; i++ {
+			if !s.contains(key(i)) {
+				t.Fatalf("key %d lost", i)
+			}
+		}
+	})
+}

@@ -77,6 +77,13 @@ func (s *u64Set) contains(k uint64) bool {
 // len returns the number of stored keys.
 func (s *u64Set) len() int { return s.n }
 
+// reset empties the set in place, keeping the table at its grown size: a
+// standing worker serving repeated runs clears instead of reallocating.
+func (s *u64Set) reset() {
+	clear(s.slots)
+	s.n = 0
+}
+
 // reserve grows the table — in a single rehash — until it can absorb n more
 // keys without exceeding the load factor. The BFS drivers call it with the
 // expected fanout of the coming level, so inserts inside a level never

@@ -38,7 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 
 	"tightcps/internal/sched"
 	"tightcps/internal/switching"
@@ -204,11 +204,14 @@ func (w *WireStats) Add(other WireStats) {
 			w.Links = append(w.Links, l)
 		}
 	}
-	sort.Slice(w.Links, func(i, j int) bool {
-		if w.Links[i].From != w.Links[j].From {
-			return w.Links[i].From < w.Links[j].From
+	// slices.SortFunc, not sort.Slice: the mesh tracker folds a WireStats
+	// per node into its total every poll round, and sort.Slice's
+	// reflection-based swapper allocates on each call.
+	slices.SortFunc(w.Links, func(a, b LinkWire) int {
+		if a.From != b.From {
+			return a.From - b.From
 		}
-		return w.Links[i].To < w.Links[j].To
+		return a.To - b.To
 	})
 }
 

@@ -66,6 +66,13 @@ func (s *wideSet) contains(k wstate) bool {
 // len returns the number of stored keys.
 func (s *wideSet) len() int { return s.n }
 
+// reset empties the set in place, keeping the table at its grown size (see
+// u64Set.reset).
+func (s *wideSet) reset() {
+	clear(s.slots)
+	s.n = 0
+}
+
 // reserve grows the table — in a single rehash — until it can absorb n more
 // keys without exceeding the load factor (see u64Set.reserve).
 func (s *wideSet) reserve(n int) {
