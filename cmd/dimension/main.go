@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dimension [-apps C1,C2,...] [-stability] [-lazy] [-workers N] [-cachefile warm.bin]
+//	          [-server http://host:9833]
 //
 // -cachefile persists the admission cache across invocations: verdicts are
 // loaded before the run (a missing file is a cold start) and saved back
@@ -12,6 +13,12 @@
 // slot-sharing verification it has already settled. The file is salted
 // with the verification config, so a cache produced under a different
 // policy never answers for this run.
+//
+// -server routes every slot-sharing admission question to a running
+// admission service (verifyd -http) instead of verifying in-process: the
+// first-fit search still runs here, but verdicts come from the service's
+// fleet-wide coalescing and persistent cache. -cachefile is redundant
+// there (the service owns persistence) and refused.
 package main
 
 import (
@@ -21,10 +28,12 @@ import (
 	"strings"
 	"time"
 
+	"tightcps/internal/admit"
 	"tightcps/internal/core"
 	"tightcps/internal/mapping"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
+	"tightcps/internal/verify"
 )
 
 func main() {
@@ -33,6 +42,7 @@ func main() {
 	lazy := flag.Bool("lazy", false, "verify under the lazy-preemption policy (paper future work)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial; must be ≥ 0)")
 	cachefile := flag.String("cachefile", "", "load/save the admission cache at this path (warm starts across runs)")
+	server := flag.String("server", "", "route admission questions to the admission service at this base URL")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "dimension: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = serial), got %d\n", *workers)
@@ -51,6 +61,18 @@ func main() {
 	opts := core.Options{CheckSwitchingStability: *stability, Workers: *workers}
 	if *lazy {
 		opts.Policy = sched.PreemptLazy
+	}
+	if *server != "" {
+		if *cachefile != "" {
+			fmt.Fprintln(os.Stderr, "dimension: -server and -cachefile are exclusive (the service owns verdict persistence)")
+			os.Exit(2)
+		}
+		// The service decides ties/policy semantics from the spec; mirror
+		// what the in-process engine would verify under.
+		spec := verify.SpecOf(verify.Config{NondetTies: true, Policy: opts.Policy})
+		cli := &admit.Client{BaseURL: *server}
+		opts.AdmitFunc = cli.VerifyFunc(spec)
+		fmt.Printf("admission via %s\n", *server)
 	}
 	if *cachefile != "" {
 		// Mirror the engine's admission config (core.Dimensioner.verifyFunc)

@@ -1,20 +1,35 @@
-// Command verifyd serves one worker node of the distributed verification
-// backend (internal/dverify). A coordinator — cmd/verifyslot or
-// cmd/experiments with -connect — dials a set of verifyd instances, ships
-// each a shard range of the packed state space, and drives the search over
-// them. In the default mesh topology the daemons also dial each other at
-// job setup (one data link per ordered node pair), so frontier batches
-// flow worker↔worker and never transit the coordinator.
+// Command verifyd is the verification daemon, serving either or both of
+// two planes:
+//
+// Worker plane (-listen, the default): one worker node of the distributed
+// verification backend (internal/dverify). A coordinator — cmd/verifyslot
+// or cmd/experiments with -connect, or a front-door verifyd with -connect
+// — dials a set of worker verifyds, ships each a shard range of the
+// packed state space, and drives the search over them. In the default
+// mesh topology the daemons also dial each other at job setup (one data
+// link per ordered node pair), so frontier batches flow worker↔worker and
+// never transit the coordinator.
+//
+// Admission plane (-http): the HTTP/JSON admission service front door
+// (internal/admit). POST /v1/admit submits a profile set + slot config
+// and returns the verdict with its search statistics; GET /v1/jobs/{id}
+// polls an async submit; /healthz and /statsz expose liveness and
+// counters. The front door verifies over loopback lanes in this process
+// (-nodes), or over a worker fleet (-connect), with service-level
+// coalescing of identical submits, a bounded request queue, and an
+// optional persistent verdict cache (-cachedir) checkpointed
+// incrementally by fingerprint-prefix shard.
 //
 // Usage:
 //
-//	verifyd -listen 127.0.0.1:9471 [-quiet]
+//	verifyd -listen 127.0.0.1:9471 [-quiet]                 # worker only
+//	verifyd -http 127.0.0.1:9833 -listen "" [-nodes 4]      # front door only
+//	verifyd -http :9833 -connect host1:9471,host2:9471      # front door over a fleet
 //
-// The daemon keeps accepting sessions until killed, so repeated CLI
-// invocations reuse the same worker fleet. On SIGINT or SIGTERM it drains
-// gracefully: new connections and new jobs are refused while active
-// sessions — and the mesh links of their in-flight searches — run to
-// completion; a second signal forces an immediate exit.
+// Both planes drain on SIGINT/SIGTERM: new sessions and new submits are
+// refused (HTTP submits get 503 + Retry-After) while in-flight searches
+// and verdicts run to completion and the verdict cache checkpoints; a
+// second signal forces an immediate exit.
 package main
 
 import (
@@ -22,45 +37,140 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
+	"tightcps/internal/admit"
 	"tightcps/internal/dverify"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:9471", "address to serve the worker protocol on")
+	listen := flag.String("listen", "127.0.0.1:9471", "worker-plane address (empty disables the worker plane)")
+	httpAddr := flag.String("http", "", "admission-plane HTTP address (empty disables the admission plane)")
+	nodes := flag.Int("nodes", 0, "admission plane: verify over N loopback lane workers in this process (0 = local engine)")
+	connect := flag.String("connect", "", "admission plane: verify over this comma-separated worker fleet")
+	workers := flag.Int("workers", 0, "expansion workers per search/node (0 = GOMAXPROCS, min 2)")
+	cachedir := flag.String("cachedir", "", "persist admission verdicts under this directory (sharded, incremental)")
+	checkpoint := flag.Duration("checkpoint", 30*time.Second, "verdict-cache checkpoint interval")
+	queue := flag.Int("queue", 64, "admission request queue depth")
+	concurrency := flag.Int("concurrency", 1, "concurrent backend verifications")
+	maxstates := flag.Int("maxstates", 0, "clamp per-request state budgets (0 = engine default)")
+	timeout := flag.Duration("timeout", 0, "default per-request budget when the submit sets none (0 = none)")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
 	flag.Parse()
 
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "verifyd:", err)
-		os.Exit(1)
-	}
 	logger := log.New(os.Stderr, "verifyd: ", log.LstdFlags)
 	logf := logger.Printf
 	if *quiet {
-		logf = nil
+		logf = func(string, ...any) {}
 	}
-	srv := dverify.NewServer(l, logf)
+	if *listen == "" && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "verifyd: nothing to serve (both -listen and -http empty)")
+		os.Exit(2)
+	}
 
-	sigs := make(chan os.Signal, 1)
+	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
-		logger.Printf("draining: refusing new sessions, waiting for active ones (signal again to force exit)")
-		go srv.Shutdown()
-		<-sigs
-		logger.Printf("forced exit")
-		os.Exit(1)
-	}()
 
-	logger.Printf("worker listening on %s", l.Addr())
-	if err := srv.Serve(); err != nil {
+	var wg sync.WaitGroup
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "verifyd:", err)
 		os.Exit(1)
 	}
-	logger.Printf("drained; bye")
+
+	// Worker plane.
+	var workerSrv *dverify.Server
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fail(err)
+		}
+		var slogf func(string, ...any)
+		if !*quiet {
+			slogf = logf
+		}
+		workerSrv = dverify.NewServer(l, slogf)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := workerSrv.Serve(); err != nil {
+				fail(err)
+			}
+		}()
+		logf("worker listening on %s", l.Addr())
+	}
+
+	// Admission plane.
+	var svc *admit.Service
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		opts := admit.Options{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			Concurrency:    *concurrency,
+			MaxStates:      *maxstates,
+			DefaultTimeout: *timeout,
+			CacheDir:       *cachedir,
+			Checkpoint:     *checkpoint,
+			Logf:           logf,
+		}
+		ts, desc, err := dverify.Cluster(*nodes, *connect)
+		if err != nil {
+			fail(err)
+		}
+		if ts != nil {
+			defer dverify.Close(ts)
+			opts.Backend = dverify.Runner(ts)
+			opts.BackendNodes = len(ts)
+			opts.BackendDesc = desc
+		}
+		svc = admit.New(opts)
+		l, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fail(err)
+		}
+		httpSrv = &http.Server{Handler: svc.Handler()}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := httpSrv.Serve(l); err != nil && err != http.ErrServerClosed {
+				fail(err)
+			}
+		}()
+		backend := opts.BackendDesc
+		if backend == "" {
+			backend = "local engine"
+		}
+		logf("admission service on http://%s (backend: %s)", l.Addr(), backend)
+	}
+
+	// Combined drain: the first signal drains both planes — the admission
+	// service finishes in-flight verdicts and checkpoints while the
+	// worker server finishes active sessions — the second forces exit.
+	go func() {
+		<-sigs
+		logf("draining: refusing new work, finishing in-flight (signal again to force exit)")
+		if svc != nil {
+			go func() {
+				svc.Drain()
+				// The HTTP listener stays up through the drain so
+				// in-flight responses and 503s flow; close it once the
+				// last verdict is out.
+				httpSrv.Close()
+			}()
+		}
+		if workerSrv != nil {
+			go workerSrv.Shutdown()
+		}
+		<-sigs
+		logf("forced exit")
+		os.Exit(1)
+	}()
+
+	wg.Wait()
+	logf("drained; bye")
 }

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"tightcps/internal/admit"
 	"tightcps/internal/dverify"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
@@ -63,6 +64,7 @@ func run() int {
 	nodes := flag.Int("nodes", 0, "distribute over K in-process loopback workers (0 = local verification)")
 	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
 	mesh := flag.Bool("mesh", true, "distributed topology: worker↔worker mesh with pipelined levels (false = level-synchronous coordinator relay)")
+	server := flag.String("server", "", "submit to an admission service at this base URL (e.g. http://host:9833) instead of verifying locally")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the verification to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the verification to this file")
 	flag.Parse()
@@ -81,6 +83,18 @@ func run() int {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
+
+	if *server != "" {
+		if *useTA || *nodes > 0 || *connect != "" || *cpuprofile != "" || *memprofile != "" {
+			fmt.Fprintln(os.Stderr, "verifyslot: -server submits remotely; -ta/-nodes/-connect/-cpuprofile/-memprofile are local-run flags")
+			return 2
+		}
+		return runServer(*server, names, verify.Spec{
+			Bounded:   *bounded,
+			MaxStates: *maxStates,
+		}, *lazy)
+	}
+
 	profs, err := plants.ProfileList(names...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -199,6 +213,39 @@ func run() int {
 				fmt.Printf("    %3d: %s\n", k, strings.Join(ns, ", "))
 			}
 		}
+	}
+	return 0
+}
+
+// runServer is the -server client mode: the admission question goes to a
+// running admission service (verifyd -http) — where fleet-wide coalescing
+// and the persistent verdict cache live — and the verdict is printed in
+// the same shape as a local run so scripts and CI greps work unchanged.
+func runServer(base string, names []string, spec verify.Spec, lazy bool) int {
+	if lazy {
+		spec.Policy = "lazy"
+	}
+	cli := &admit.Client{BaseURL: base}
+	resp, err := cli.Admit(&admit.AdmitRequest{Apps: names, Config: spec})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifyslot:", err)
+		return 1
+	}
+	v := resp.Verdict
+	fmt.Printf("slot %v: schedulable=%v\n", names, v.Schedulable)
+	served := "verified"
+	switch {
+	case resp.Warm:
+		served = "warm cache hit (admission bit only)"
+	case resp.Cached:
+		served = "cache hit"
+	case resp.Coalesced:
+		served = "coalesced onto a concurrent submit"
+	}
+	fmt.Printf("  states=%d transitions=%d depth=%d bounded=%v (%s, %.1fms via %s)\n",
+		v.States, v.Transitions, v.Depth, v.Bounded, served, resp.ElapsedMs, base)
+	if !v.Schedulable && v.ViolatorName != "" {
+		fmt.Printf("  violator: %s\n", v.ViolatorName)
 	}
 	return 0
 }

@@ -1,0 +1,291 @@
+package admit
+
+// End-to-end equivalence: every HTTP verdict must be byte-identical to
+// the in-process engine's, across the whole backend matrix — the paper's
+// S1/S2 slots, violating synthetics, narrow and wide encodings, with and
+// without the symmetry quotient. Plus the service semantics riding the
+// same rig: cache hits, warm starts, async jobs, stats, validation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
+)
+
+// equivalenceCases: schedulable and violating sets on both encodings.
+// S1 (1 440 712 states) is the paper's hardest verification; overload7
+// exercises the wide encoding's violation path; the sym cases run the
+// quotient on both encodings.
+var equivalenceCases = []struct {
+	name string
+	apps []string // named case-study slot, or
+	ps   func() []*switching.Profile
+	spec verify.Spec
+}{
+	{name: "S2", apps: []string{"C6", "C2"}},
+	{name: "S1", apps: []string{"C1", "C5", "C4", "C3"}},
+	{name: "overloadNarrow", ps: func() []*switching.Profile {
+		return []*switching.Profile{prof("A", 0, 3, 5, 20), prof("B", 0, 3, 5, 20)}
+	}},
+	{name: "overloadWide", ps: func() []*switching.Profile { return fleet(7, 2, 1, 2, 5) }},
+	{name: "narrowSym", ps: func() []*switching.Profile { return fleet(6, 5, 2, 4, 20) },
+		spec: verify.Spec{Symmetry: true}},
+	{name: "wideSym", ps: func() []*switching.Profile { return fleet(7, 6, 1, 2, 10) },
+		spec: verify.Spec{Symmetry: true}},
+	{name: "wideBounded", ps: func() []*switching.Profile { return fleet(6, 5, 2, 4, 20) },
+		spec: verify.Spec{Bounded: true}},
+}
+
+// TestServiceVerdictEquivalence is the tentpole assertion: one service
+// per backend, every case submitted twice — the first answer byte-equal
+// to the local engine's verdict JSON, the second a cache hit carrying the
+// identical bytes.
+func TestServiceVerdictEquivalence(t *testing.T) {
+	for _, bc := range backendMatrix {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			r := newRig(t, bc, nil)
+			for _, tc := range equivalenceCases {
+				var req *AdmitRequest
+				var ps []*switching.Profile
+				var names []string
+				if tc.apps != nil {
+					ps = caseProfiles(t, tc.apps...)
+					names = tc.apps
+					req = &AdmitRequest{Apps: tc.apps, Config: tc.spec}
+				} else {
+					ps = tc.ps()
+					names = namesOf(ps)
+					req = inlineReq(ps, tc.spec)
+				}
+				want := localVerdictJSON(t, ps, tc.spec, names)
+
+				status, resp, gotVerdict := r.submit(t, req)
+				if status != http.StatusOK {
+					t.Fatalf("%s: HTTP %d (%s)", tc.name, status, resp.Error)
+				}
+				if resp.Cached || resp.Warm {
+					t.Fatalf("%s: first submit served from cache", tc.name)
+				}
+				if !bytes.Equal(gotVerdict, want) {
+					t.Errorf("%s: verdict over %s diverges from local engine:\n got %s\nwant %s",
+						tc.name, bc.name, gotVerdict, want)
+				}
+
+				status, resp, cachedVerdict := r.submit(t, req)
+				if status != http.StatusOK || !resp.Cached {
+					t.Fatalf("%s: second identical submit: HTTP %d cached=%v", tc.name, status, resp.Cached)
+				}
+				if !bytes.Equal(cachedVerdict, want) {
+					t.Errorf("%s: cached verdict diverges:\n got %s\nwant %s", tc.name, cachedVerdict, want)
+				}
+			}
+		})
+	}
+}
+
+// TestServiceOrderIndependence: permutations of one profile set are one
+// admission question — the second order must hit the cache and answer
+// with the identical verdict bytes.
+func TestServiceOrderIndependence(t *testing.T) {
+	r := newRig(t, backendCase{name: "local"}, nil)
+	ps := []*switching.Profile{prof("A", 2, 2, 3, 15), prof("B", 6, 2, 4, 25), prof("C", 9, 3, 5, 30)}
+	status, _, first := r.submit(t, inlineReq(ps, verify.Spec{}))
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d", status)
+	}
+	perm := []*switching.Profile{ps[2], ps[0], ps[1]}
+	status, resp, second := r.submit(t, inlineReq(perm, verify.Spec{}))
+	if status != http.StatusOK || !resp.Cached {
+		t.Fatalf("permuted resubmit: HTTP %d cached=%v", status, resp.Cached)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("permuted resubmit verdict diverges:\n got %s\nwant %s", second, first)
+	}
+}
+
+// TestServiceAsyncJob: an async submit returns 202 + a job id, the job
+// polls to done with the same verdict bytes a sync submit yields, and
+// unknown jobs are 404.
+func TestServiceAsyncJob(t *testing.T) {
+	r := newRig(t, backendCase{name: "local"}, nil)
+	ps := fleet(3, 6, 1, 2, 10)
+	want := localVerdictJSON(t, ps, verify.Spec{}, namesOf(ps))
+
+	req := inlineReq(ps, verify.Spec{})
+	req.Async = true
+	status, resp, _ := r.submit(t, req)
+	if status != http.StatusAccepted || resp.Job == "" {
+		t.Fatalf("async submit: HTTP %d job=%q", status, resp.Job)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		hr, err := http.Get(r.ts.URL + "/v1/jobs/" + resp.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr struct {
+			Status     string          `json:"status"`
+			Error      string          `json:"error"`
+			RawVerdict json.RawMessage `json:"verdict"`
+		}
+		if err := json.NewDecoder(hr.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if jr.Status == "done" {
+			if !bytes.Equal([]byte(jr.RawVerdict), want) {
+				t.Fatalf("async verdict diverges:\n got %s\nwant %s", jr.RawVerdict, want)
+			}
+			break
+		}
+		if jr.Status != "pending" {
+			t.Fatalf("job status %q (%s)", jr.Status, jr.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async job never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	hr, err := http.Get(r.ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", hr.StatusCode)
+	}
+}
+
+// TestServiceStatsAndHealth: the counters move and /healthz answers.
+func TestServiceStatsAndHealth(t *testing.T) {
+	r := newRig(t, backendCase{name: "local"}, nil)
+	req := inlineReq(fleet(2, 8, 2, 4, 40), verify.Spec{})
+	for i := 0; i < 3; i++ {
+		if status, _, _ := r.submit(t, req); status != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d", i, status)
+		}
+	}
+	st, err := r.cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 3 || st.Verifications != 1 || st.CacheHits != 2 {
+		t.Fatalf("stats after 3 identical submits: %+v", st)
+	}
+	if st.Backend != "local engine" || st.Draining {
+		t.Fatalf("stats identity: %+v", st)
+	}
+	hr, err := http.Get(r.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: HTTP %d", hr.StatusCode)
+	}
+}
+
+// TestServiceWarmStart: a drained service checkpoints its shard files; a
+// fresh service over the same cache dir answers the admission bit from
+// disk, marked warm, without a backend run.
+func TestServiceWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ps := fleet(3, 6, 1, 2, 10)
+	req := inlineReq(ps, verify.Spec{})
+
+	r1 := newRig(t, backendCase{name: "local"}, func(o *Options) { o.CacheDir = dir })
+	status, resp, _ := r1.submit(t, req)
+	if status != http.StatusOK || !resp.Verdict.Schedulable {
+		t.Fatalf("cold submit: HTTP %d %+v", status, resp.Verdict)
+	}
+	r1.svc.Drain()
+	if !r1.svc.Drained() {
+		t.Fatal("Drain returned but Drained() is false")
+	}
+
+	r2 := newRig(t, backendCase{name: "local"}, func(o *Options) { o.CacheDir = dir })
+	status, resp, _ = r2.submit(t, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm submit: HTTP %d", status)
+	}
+	if !resp.Warm || resp.Verdict == nil || !resp.Verdict.Schedulable {
+		t.Fatalf("warm submit not served from the persistent cache: %+v", resp)
+	}
+	if resp.Verdict.States != 0 || resp.Verdict.Violator != -1 {
+		t.Fatalf("warm verdict invented search counts: %+v", resp.Verdict)
+	}
+	st, err := r2.cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Verifications != 0 || st.WarmHits != 1 {
+		t.Fatalf("warm start ran a backend verification: %+v", st)
+	}
+}
+
+// TestServiceValidation: malformed submissions are 400s with a reason,
+// and never reach the backend.
+func TestServiceValidation(t *testing.T) {
+	r := newRig(t, backendCase{name: "local"}, nil)
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"malformedJSON", `{`, "malformed"},
+		{"empty", `{}`, "no profiles"},
+		{"bothAppsAndProfiles", `{"apps":["C1"],"profiles":[{"r":5,"twStar":0,"tdwMinus":[1],"tdwPlus":[2]}]}`, "both"},
+		{"unknownApp", `{"apps":["C9"]}`, "c9"},
+		{"badPolicy", `{"apps":["C6","C2"],"config":{"policy":"chaotic"}}`, "policy"},
+		{"negativeBudget", `{"apps":["C6","C2"],"config":{"maxStates":-5}}`, "negative"},
+		{"badDwellTables", `{"profiles":[{"r":5,"twStar":3,"tdwMinus":[1],"tdwPlus":[2]}]}`, "dwell"},
+		{"badInterArrival", `{"profiles":[{"r":0,"twStar":0,"tdwMinus":[1],"tdwPlus":[2]}]}`, "positive"},
+	}
+	for _, tc := range cases {
+		resp, raw := r.postRaw(t, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400 (%s)", tc.name, resp.StatusCode, raw)
+			continue
+		}
+		var ar AdmitResponse
+		if err := json.Unmarshal(raw, &ar); err != nil {
+			t.Errorf("%s: undecodable 400 body %q", tc.name, raw)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(ar.Error), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, ar.Error, tc.want)
+		}
+	}
+	st, err := r.cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Verifications != 0 {
+		t.Fatalf("invalid submissions reached the backend: %+v", st)
+	}
+}
+
+// TestServiceStateBudgetRefusal: a request whose search busts its state
+// budget is a 422, and the budget-capped verdict is not served to
+// uncapped submits (MaxStates salts the key).
+func TestServiceStateBudgetRefusal(t *testing.T) {
+	r := newRig(t, backendCase{name: "local"}, nil)
+	ps := fleet(4, 8, 2, 4, 40) // 2.9M states, far over the budget below
+	req := inlineReq(ps, verify.Spec{MaxStates: 1000})
+	status, resp, _ := r.submit(t, req)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("busted budget: HTTP %d (%s)", status, resp.Error)
+	}
+	if !strings.Contains(resp.Error, "state") {
+		t.Fatalf("busted budget error does not say why: %q", resp.Error)
+	}
+}

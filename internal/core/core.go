@@ -56,6 +56,15 @@ type Options struct {
 	// verdicts across Dimension calls. Do not share a cache between Options
 	// that verify differently (Policy or Verify knobs).
 	Cache *mapping.Cache
+	// AdmitFunc, when non-nil, replaces the in-process slot-sharing
+	// verification: the dimensioning loop sends every admission question
+	// through it instead of verify.Slot. This is the seam the admission
+	// service's client mode plugs into (admit.Client.VerifyFunc), so a
+	// dimensioning run shares the service's fleet-wide coalescing and
+	// persistent cache. The caller must configure it to verify under the
+	// semantics Options would otherwise use (NondetTies, Policy, Verify
+	// knobs) — the engine cannot inspect a remote service's config.
+	AdmitFunc mapping.VerifyFunc
 }
 
 // Allocation is the dimensioning result.
@@ -151,6 +160,9 @@ func (d *Dimensioner) Dimension() (*Allocation, error) {
 // verifyFunc builds the admission verifier from the options, threading the
 // engine's worker budget into the BFS unless the caller pinned it.
 func (d *Dimensioner) verifyFunc() mapping.VerifyFunc {
+	if d.Opts.AdmitFunc != nil {
+		return d.Opts.AdmitFunc
+	}
 	cfg := d.Opts.Verify
 	cfg.NondetTies = true
 	cfg.Policy = d.Opts.Policy

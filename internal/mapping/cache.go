@@ -24,6 +24,7 @@ import (
 	"io"
 	"math/bits"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"tightcps/internal/switching"
@@ -134,6 +135,11 @@ type Cache struct {
 	verdicts map[uint64]bool
 	running  map[uint64]*inflight
 
+	// dirty marks the fingerprint-prefix shards whose verdicts changed
+	// since the last SaveDir, so a hot service checkpoints incrementally:
+	// only the shard files behind new verdicts are rewritten.
+	dirty [SaveShards]bool
+
 	hits, misses, coalesced int
 }
 
@@ -189,6 +195,7 @@ func (c *Cache) Do(profiles []*switching.Profile, vf VerifyFunc) (bool, error) {
 	delete(c.running, key)
 	if err == nil {
 		c.verdicts[key] = ok
+		c.dirty[shardOf(key)] = true
 		c.misses++
 	}
 	c.mu.Unlock()
@@ -238,11 +245,18 @@ var ErrCacheConfig = errors.New("mapping: cache file was produced under a differ
 
 // Save writes every cached verdict to w in the versioned binary format.
 // In-flight verifications and hit/miss statistics are not persisted.
-func (c *Cache) Save(w io.Writer) error {
+func (c *Cache) Save(w io.Writer) error { return c.save(w, -1) }
+
+// save writes the verdicts of one fingerprint-prefix shard (or all of
+// them, shard < 0) to w.
+func (c *Cache) save(w io.Writer, shard int) error {
 	c.mu.Lock()
 	cfgKey := c.cfgKey
 	entries := make([]uint64, 0, 2*len(c.verdicts))
 	for k, ok := range c.verdicts {
+		if shard >= 0 && shardOf(k) != shard {
+			continue
+		}
 		v := uint64(0)
 		if ok {
 			v = 1
@@ -266,8 +280,12 @@ func (c *Cache) Save(w io.Writer) error {
 // Load merges the verdicts serialized in r into the cache. The file's
 // config salt must match the cache's (ErrCacheConfig otherwise); existing
 // entries win over file entries with the same key, so loading after a few
-// fresh verifications never regresses them.
-func (c *Cache) Load(r io.Reader) error {
+// fresh verifications never regresses them. Loaded entries count as dirty
+// — a following SaveDir carries them into the shard layout — so a legacy
+// single-file cache converts by Load + SaveDir.
+func (c *Cache) Load(r io.Reader) error { return c.load(r, true) }
+
+func (c *Cache) load(r io.Reader, markDirty bool) error {
 	var header [24]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return fmt.Errorf("mapping: reading cache header: %w", err)
@@ -301,11 +319,120 @@ func (c *Cache) Load(r io.Reader) error {
 			key := binary.LittleEndian.Uint64(rec)
 			if _, exists := c.verdicts[key]; !exists {
 				c.verdicts[key] = rec[8] != 0
+				if markDirty {
+					c.dirty[shardOf(key)] = true
+				}
 			}
 		}
 		read += n
 	}
 	return nil
+}
+
+// Sharded persistence: a long-running admission service cannot afford to
+// rewrite one monolithic cache file on every checkpoint, so SaveDir
+// partitions the verdict map into SaveShards files by fingerprint prefix
+// (the top bits of the salted key) and rewrites only the shards dirtied
+// since the previous checkpoint. Each shard file is a complete,
+// independently-loadable cache file in the versioned format above.
+
+// SaveShards is the fingerprint-prefix fan-out of SaveDir: keys land in
+// shard key>>60, so one shard holds ~1/16 of the verdicts and a checkpoint
+// after a handful of fresh admissions rewrites a few small files instead
+// of the whole cache.
+const SaveShards = 16
+
+func shardOf(key uint64) int { return int(key >> 60) }
+
+// shardPath names shard files so LoadDir can enumerate them without
+// globbing: admit-00.shard .. admit-0f.shard.
+func shardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("admit-%02x.shard", shard))
+}
+
+// SaveDir checkpoints the cache into dir (created if missing), rewriting
+// only the shards with verdicts added since the last SaveDir. Each shard
+// file is written atomically via a sibling temp file. It returns how many
+// shard files were rewritten — 0 means the checkpoint was free.
+func (c *Cache) SaveDir(dir string) (written int, err error) {
+	c.mu.Lock()
+	var todo []int
+	for s, d := range c.dirty {
+		if d {
+			todo = append(todo, s)
+			c.dirty[s] = false
+		}
+	}
+	c.mu.Unlock()
+	if len(todo) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.remarkDirty(todo)
+		return 0, err
+	}
+	for _, s := range todo {
+		if err := c.saveShardFile(dir, s); err != nil {
+			c.remarkDirty(todo[written:])
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+// remarkDirty restores dirty flags after a failed checkpoint so the next
+// SaveDir retries the unwritten shards.
+func (c *Cache) remarkDirty(shards []int) {
+	c.mu.Lock()
+	for _, s := range shards {
+		c.dirty[s] = true
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) saveShardFile(dir string, shard int) error {
+	path := shardPath(dir, shard)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.save(f, shard); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadDir merges every shard file present in dir into the cache,
+// returning how many files were read. A missing directory (or one with no
+// shard files) is the cold-start case and reports 0 without error; a
+// corrupt or config-mismatched shard aborts the load with the offending
+// shard named. Entries loaded from dir are clean — they are already on
+// disk in this layout — so a following SaveDir does not rewrite them.
+func (c *Cache) LoadDir(dir string) (loaded int, err error) {
+	for s := 0; s < SaveShards; s++ {
+		f, err := os.Open(shardPath(dir, s))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return loaded, err
+		}
+		err = c.load(f, false)
+		f.Close()
+		if err != nil {
+			return loaded, fmt.Errorf("mapping: cache shard %02x: %w", s, err)
+		}
+		loaded++
+	}
+	return loaded, nil
 }
 
 // SaveFile writes the cache to path (atomically via a sibling temp file).

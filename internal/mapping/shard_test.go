@@ -1,0 +1,195 @@
+package mapping
+
+// Sharded cache persistence: the admission service checkpoints its
+// verdict map incrementally, so the shard layout must partition by
+// fingerprint prefix, round-trip losslessly, refuse mismatched config
+// salts, and — the point — rewrite only dirty shards.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"tightcps/internal/switching"
+)
+
+// shardProfiles builds a distinct single-profile set per index; distinct
+// R values give distinct fingerprints.
+func shardProfiles(i int) []*switching.Profile {
+	return []*switching.Profile{{
+		Name: fmt.Sprintf("P%d", i), TwStar: 4, R: 20 + i, Granularity: 1,
+		TdwMinus: []int{2, 2, 2, 2, 2}, TdwPlus: []int{4, 4, 4, 4, 4},
+	}}
+}
+
+// fill answers n distinct admission questions through the cache, with a
+// deterministic verdict per index.
+func fill(t *testing.T, c *Cache, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		verdict := i%3 == 0
+		ok, err := c.Do(shardProfiles(i), func([]*switching.Profile) (bool, error) { return verdict, nil })
+		if err != nil || ok != verdict {
+			t.Fatalf("fill %d: got (%v, %v)", i, ok, err)
+		}
+	}
+}
+
+func TestCacheShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCacheFor(0xfeed)
+	fill(t, c, 0, 200)
+
+	written, err := c.SaveDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 {
+		t.Fatal("no shard files written for 200 verdicts")
+	}
+
+	warm := NewCacheFor(0xfeed)
+	loaded, err := warm.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != written {
+		t.Fatalf("loaded %d shard files, saved %d", loaded, written)
+	}
+	if warm.Len() != c.Len() {
+		t.Fatalf("round trip lost verdicts: %d, want %d", warm.Len(), c.Len())
+	}
+	// Every question must now hit — the fallback must never run.
+	for i := 0; i < 200; i++ {
+		want := i%3 == 0
+		ok, err := warm.Do(shardProfiles(i), func([]*switching.Profile) (bool, error) {
+			t.Fatalf("question %d missed a warm cache", i)
+			return false, nil
+		})
+		if err != nil || ok != want {
+			t.Fatalf("warm verdict %d: got (%v, %v), want %v", i, ok, err, want)
+		}
+	}
+}
+
+// TestCacheShardIncrementalCheckpoint is the hot-service property: a
+// checkpoint after no new verdicts writes nothing, and a checkpoint after
+// one new verdict rewrites exactly the shard that verdict landed in.
+func TestCacheShardIncrementalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCacheFor(0xfeed)
+	fill(t, c, 0, 200)
+	if _, err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := c.SaveDir(dir); err != nil || n != 0 {
+		t.Fatalf("clean checkpoint wrote %d shards (err %v), want 0", n, err)
+	}
+
+	fill(t, c, 200, 201)
+	n, err := c.SaveDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("one fresh verdict rewrote %d shards, want exactly 1", n)
+	}
+	if n, err = c.SaveDir(dir); err != nil || n != 0 {
+		t.Fatalf("checkpoint after checkpoint wrote %d shards (err %v), want 0", n, err)
+	}
+}
+
+// TestCacheShardPrefixPartition opens each shard file raw and checks that
+// every key in it carries the shard's fingerprint prefix.
+func TestCacheShardPrefixPartition(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCacheFor(0xfeed)
+	fill(t, c, 0, 300)
+	if _, err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for s := 0; s < SaveShards; s++ {
+		raw, err := os.ReadFile(shardPath(dir, s))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := binary.LittleEndian.Uint64(raw[16:24])
+		for i := uint64(0); i < count; i++ {
+			key := binary.LittleEndian.Uint64(raw[24+9*i:])
+			if shardOf(key) != s {
+				t.Fatalf("shard %02x holds key %#x (prefix %02x)", s, key, shardOf(key))
+			}
+			seen++
+		}
+	}
+	if seen != c.Len() {
+		t.Fatalf("shard files hold %d entries, cache %d", seen, c.Len())
+	}
+}
+
+// TestCacheShardConfigMismatch: a shard directory written under one
+// verification config must not answer for another.
+func TestCacheShardConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCacheFor(0xfeed)
+	fill(t, c, 0, 50)
+	if _, err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := NewCacheFor(0xbeef)
+	if _, err := other.LoadDir(dir); !errors.Is(err, ErrCacheConfig) {
+		t.Fatalf("mismatched salt load: got %v, want ErrCacheConfig", err)
+	}
+}
+
+// TestCacheShardColdStart: a missing directory is a cold start, not an
+// error.
+func TestCacheShardColdStart(t *testing.T) {
+	c := NewCacheFor(1)
+	if n, err := c.LoadDir(t.TempDir() + "/nonexistent"); err != nil || n != 0 {
+		t.Fatalf("cold start: got (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestCacheLegacyFileConvertsToShards: verdicts merged from a legacy
+// monolithic file count as dirty, so Load + SaveDir migrates the layout;
+// verdicts loaded from a shard dir are clean and are not rewritten.
+func TestCacheLegacyFileConvertsToShards(t *testing.T) {
+	legacy := t.TempDir() + "/cache.bin"
+	c := NewCacheFor(0xfeed)
+	fill(t, c, 0, 100)
+	if err := c.SaveFile(legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	conv := NewCacheFor(0xfeed)
+	if _, err := conv.LoadFile(legacy); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conv.SaveDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("legacy-loaded verdicts were not dirty; migration wrote nothing")
+	}
+
+	warm := NewCacheFor(0xfeed)
+	if _, err := warm.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() != c.Len() {
+		t.Fatalf("migration lost verdicts: %d, want %d", warm.Len(), c.Len())
+	}
+	if n, err := warm.SaveDir(dir); err != nil || n != 0 {
+		t.Fatalf("shard-loaded verdicts were dirty: wrote %d shards (err %v), want 0", n, err)
+	}
+}
