@@ -29,6 +29,11 @@
 // Usage:
 //
 //	bench [-o BENCH_verify.json]
+//	bench -trace run.json        # summarize a -tracefile run report
+//
+// -trace consumes a per-run JSON trace written by verifyslot -tracefile
+// (internal/obs), printing its throughput, level and wire numbers in the
+// same shape as the benchmark rows.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"time"
 
 	"tightcps/internal/dverify"
+	"tightcps/internal/obs"
 	"tightcps/internal/plants"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
@@ -48,7 +54,9 @@ import (
 
 // benchResult is one workload's measurement. Gomaxprocs/NumCPU pin the
 // builder's core budget next to every number, so 1-CPU CI figures are
-// never mistaken for multi-core results.
+// never mistaken for multi-core results. They are omitempty because the
+// recorded baselines predate the pinning — a literal 0 there would read
+// as a (meaningless) measurement, not as "unknown".
 type benchResult struct {
 	Name         string  `json:"name"`
 	States       int     `json:"states"`
@@ -56,8 +64,8 @@ type benchResult struct {
 	StatesPerSec float64 `json:"states_per_sec"`
 	BPerOp       int64   `json:"b_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
-	Gomaxprocs   int     `json:"gomaxprocs"`
-	NumCPU       int     `json:"num_cpu"`
+	Gomaxprocs   int     `json:"gomaxprocs,omitempty"`
+	NumCPU       int     `json:"num_cpu,omitempty"`
 }
 
 // wireResult is the 2-node frontier-exchange volume of one S1 run.
@@ -143,6 +151,33 @@ func fleetProfiles(n, twStar, dm, dp, r int) []*switching.Profile {
 	return out
 }
 
+// summarizeTrace prints the bench-relevant numbers of one -tracefile run
+// report (states, rate, level count, wire volume) in the same shape as a
+// benchmark row, so a distributed run captured in production slots into
+// the trajectory next to the loopback measurements.
+func summarizeTrace(path string) {
+	tr, err := obs.ReadTraceFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	backend := tr.Backend
+	if backend == "" {
+		backend = "local"
+	}
+	fmt.Printf("trace %s (run %s): slot %v %s", path, tr.RunID, tr.Slot, backend)
+	if tr.Nodes > 0 {
+		fmt.Printf(" nodes=%d", tr.Nodes)
+	}
+	fmt.Printf("\n  %-22s %8.0f states/s  states=%d depth=%d levels=%d (sum %d)\n",
+		"Trace"+backend, tr.StatesPerSec, tr.States, tr.Depth, len(tr.Levels), tr.LevelStates())
+	if tr.Wire != nil && tr.Wire.RawBytes > 0 {
+		fmt.Printf("  wire: routed=%d filtered=%d raw=%dB shipped=%dB (%.0f%% saved)\n",
+			tr.Wire.RoutedStates, tr.Wire.FilteredStates, tr.Wire.RawBytes, tr.Wire.WireBytes,
+			100*(1-float64(tr.Wire.WireBytes)/float64(tr.Wire.RawBytes)))
+	}
+}
+
 // measure runs one verification workload under testing.Benchmark and
 // packages the result.
 func measure(name string, states *int, run func() (verify.Result, error)) benchResult {
@@ -174,7 +209,13 @@ func measure(name string, states *int, run func() (verify.Result, error)) benchR
 
 func main() {
 	out := flag.String("o", "BENCH_verify.json", "path to write the benchmark report to")
+	traceIn := flag.String("trace", "", "summarize a verifyslot/verifyd -tracefile run report at this path and exit (no benchmarks)")
 	flag.Parse()
+
+	if *traceIn != "" {
+		summarizeTrace(*traceIn)
+		return
+	}
 
 	s1, err := plants.ProfileList("C1", "C5", "C4", "C3")
 	if err != nil {

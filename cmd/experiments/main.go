@@ -35,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,6 +50,7 @@ import (
 	"tightcps/internal/baseline"
 	"tightcps/internal/dverify"
 	"tightcps/internal/mapping"
+	"tightcps/internal/obs"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
 	"tightcps/internal/sim"
@@ -67,6 +69,7 @@ func main() {
 		fig8       = flag.Bool("fig8", false, "regenerate Fig. 8")
 		fig9       = flag.Bool("fig9", false, "regenerate Fig. 9")
 		verifytime = flag.Bool("verifytime", false, "regenerate the verification-time study")
+		jsonOut    = flag.Bool("json", false, "with -verifytime alone: emit per-combo run traces (states, rate, per-level table, wire stats) as JSON instead of the text table")
 		all        = flag.Bool("all", false, "run every paper experiment above (excludes -synthetic)")
 		synthetic  = flag.Int("synthetic", 0, "dimension a synthetic workload of N applications (0 = off)")
 		seed       = flag.Int64("seed", 1, "random seed for -synthetic")
@@ -100,6 +103,12 @@ func main() {
 	}
 	if *all {
 		*table1, *fig2, *fig3, *fig4, *mappingF, *fig8, *fig9, *verifytime = true, true, true, true, true, true, true, true
+	}
+	if *jsonOut && (!*verifytime || *table1 || *fig2 || *fig3 || *fig4 || *mappingF || *fig8 || *fig9 || *synthetic > 0) {
+		// Only the verification-time study is a run report; mixing JSON into
+		// the other experiments' text output would leave neither parseable.
+		fmt.Fprintln(os.Stderr, "experiments: -json applies to -verifytime alone")
+		os.Exit(2)
 	}
 	if !(*table1 || *fig2 || *fig3 || *fig4 || *mappingF || *fig8 || *fig9 || *verifytime || *synthetic > 0) {
 		flag.Usage()
@@ -152,7 +161,7 @@ func main() {
 		runFig9()
 	}
 	if *verifytime {
-		runVerifyTime()
+		runVerifyTime(*jsonOut)
 	}
 }
 
@@ -770,8 +779,15 @@ func flagStr(on bool, s string) string {
 	return ""
 }
 
-func runVerifyTime() {
-	fmt.Println("== Sec. 5: verification-time study ==")
+// runVerifyTime regenerates the verification-time study. With jsonRep the
+// text table is replaced by a JSON array of per-combo run reports — the
+// internal/obs traces of the exact and bounded runs (states, rate,
+// per-level frontier table, wire stats), one parseable document instead of
+// grepping the table.
+func runVerifyTime(jsonRep bool) {
+	if !jsonRep {
+		fmt.Println("== Sec. 5: verification-time study ==")
+	}
 	m := profiles()
 	combos := [][]string{
 		{"C6", "C2"},
@@ -779,6 +795,11 @@ func runVerifyTime() {
 		{"C1", "C5", "C4"},
 		{"C1", "C5", "C4", "C3"},
 	}
+	type comboReport struct {
+		Exact   *obs.Trace `json:"exact"`
+		Bounded *obs.Trace `json:"bounded"`
+	}
+	var reports []comboReport
 	header := []string{"slot set", "exact states", "exact time", "bounded states", "bounded time", "verdict"}
 	var rows [][]string
 	for _, names := range combos {
@@ -786,27 +807,51 @@ func runVerifyTime() {
 		for _, n := range names {
 			ps = append(ps, m[n])
 		}
+		cfg := verify.Config{NondetTies: true, Workers: workers}
+		var exTr, bdTr *obs.Trace
+		if jsonRep {
+			exTr = obs.NewTrace("")
+			cfg.RunID, cfg.RunTrace = exTr.RunID, exTr
+		}
 		t0 := time.Now()
-		exact, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers})
+		exact, err := verify.Slot(ps, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		exactT := time.Since(t0)
+		bcfg := verify.Config{NondetTies: true, Workers: workers,
+			MaxDisturbances: verify.BoundFor(ps)}
+		if jsonRep {
+			bdTr = obs.NewTrace("")
+			bcfg.RunID, bcfg.RunTrace = bdTr.RunID, bdTr
+		}
 		t0 = time.Now()
-		bounded, err := verify.Slot(ps, verify.Config{NondetTies: true, Workers: workers,
-			MaxDisturbances: verify.BoundFor(ps)})
+		bounded, err := verify.Slot(ps, bcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		boundedT := time.Since(t0)
+		if jsonRep {
+			reports = append(reports, comboReport{Exact: exTr, Bounded: bdTr})
+			continue
+		}
 		rows = append(rows, []string{
 			fmt.Sprint(names),
 			fmt.Sprint(exact.States), fmt.Sprintf("%.3fs", exactT.Seconds()),
 			fmt.Sprint(bounded.States), fmt.Sprintf("%.3fs", boundedT.Seconds()),
 			fmt.Sprint(exact.Schedulable),
 		})
+	}
+	if jsonRep {
+		b, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
 	}
 	fmt.Print(textplot.Table(header, rows))
 	fmt.Println(`  Note: the paper accelerated UPPAAL (5 h → 15 min) by bounding disturbance

@@ -30,14 +30,23 @@
 // refused (HTTP submits get 503 + Retry-After) while in-flight searches
 // and verdicts run to completion and the verdict cache checkpoints; a
 // second signal forces an immediate exit.
+//
+// Telemetry: the admission plane serves Prometheus text exposition at
+// GET /metricsz (engine counters, per-link wire bytes, queue depth,
+// per-config admission latency histograms). A worker-only daemon's plane
+// is raw TCP, so -metrics starts a separate HTTP admin listener serving
+// the same /metricsz. -pprof mounts net/http/pprof (and /debug/vars via
+// expvar) on whichever HTTP surfaces are up.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -46,7 +55,19 @@ import (
 
 	"tightcps/internal/admit"
 	"tightcps/internal/dverify"
+	"tightcps/internal/obs"
 )
+
+// mountDebug adds the pprof handlers and the expvar bridge to an admin mux.
+func mountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+	obs.Default.PublishExpvar("tightcps")
+	mux.Handle("GET /debug/vars", expvar.Handler())
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9471", "worker-plane address (empty disables the worker plane)")
@@ -60,6 +81,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "concurrent backend verifications")
 	maxstates := flag.Int("maxstates", 0, "clamp per-request state budgets (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "default per-request budget when the submit sets none (0 = none)")
+	metricsAddr := flag.String("metrics", "", "HTTP admin address serving /metricsz (for worker-only daemons; the admission plane serves /metricsz itself)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and /debug/vars on the HTTP surfaces")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
 	flag.Parse()
 
@@ -104,6 +127,28 @@ func main() {
 		logf("worker listening on %s", l.Addr())
 	}
 
+	// Admin plane: a plain HTTP listener for /metricsz (and pprof) — the
+	// worker plane is raw TCP, so a worker-only daemon has no other HTTP
+	// surface to scrape. Dies with the process; it serves no state worth
+	// draining.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metricsz", obs.Default.Handler())
+		if *pprofOn {
+			mountDebug(mux)
+		}
+		l, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			if err := http.Serve(l, mux); err != nil {
+				logf("admin listener: %v", err)
+			}
+		}()
+		logf("metrics on http://%s/metricsz", l.Addr())
+	}
+
 	// Admission plane.
 	var svc *admit.Service
 	var httpSrv *http.Server
@@ -133,7 +178,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		httpSrv = &http.Server{Handler: svc.Handler()}
+		handler := svc.Handler()
+		if *pprofOn {
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mountDebug(mux)
+			handler = mux
+		}
+		httpSrv = &http.Server{Handler: handler}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

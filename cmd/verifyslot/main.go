@@ -6,7 +6,15 @@
 //
 //	verifyslot -apps C1,C5,C4,C3 [-bounded] [-ta] [-lazy] [-workers N]
 //	           [-maxstates N] [-nodes K | -connect host:port,host:port]
-//	           [-mesh=false] [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	           [-mesh=false] [-json] [-tracefile out.json]
+//	           [-cpuprofile out.pprof] [-memprofile out.pprof]
+//
+// -json replaces the text report with the per-run trace as JSON (verdict,
+// states, rate, per-level frontier table, wire stats) — one parseable
+// document instead of grepping rate= out of the stats line. -tracefile
+// writes the same trace to a file while keeping the text output, so CI
+// can assert on both. Both flags record the run with an internal/obs
+// trace; level spans come from whichever driver ran (local, relay, mesh).
 //
 // The verdict is computed with the sharded parallel BFS, or — with -nodes
 // or -connect — with the distributed backend of internal/dverify: -nodes K
@@ -40,6 +48,7 @@ import (
 
 	"tightcps/internal/admit"
 	"tightcps/internal/dverify"
+	"tightcps/internal/obs"
 	"tightcps/internal/plants"
 	"tightcps/internal/sched"
 	"tightcps/internal/ta"
@@ -65,6 +74,8 @@ func run() int {
 	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
 	mesh := flag.Bool("mesh", true, "distributed topology: worker↔worker mesh with pipelined levels (false = level-synchronous coordinator relay)")
 	server := flag.String("server", "", "submit to an admission service at this base URL (e.g. http://host:9833) instead of verifying locally")
+	jsonOut := flag.Bool("json", false, "emit the run report as JSON (the per-run trace: verdict, per-level table, wire stats) instead of text")
+	traceFile := flag.String("tracefile", "", "write the per-run JSON trace report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the verification to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the verification to this file")
 	flag.Parse()
@@ -76,6 +87,12 @@ func run() int {
 		// The TA network checker is local-only and unbudgeted; ignoring the
 		// flags silently would fake a distributed (or bounded) run.
 		fmt.Fprintln(os.Stderr, "verifyslot: -ta is incompatible with -nodes/-connect/-maxstates (the TA checker runs locally)")
+		return 2
+	}
+	if (*jsonOut || *traceFile != "") && (*useTA || *server != "") {
+		// Traces are recorded by the packed engine's drivers; the TA checker
+		// and the remote service don't run them in this process.
+		fmt.Fprintln(os.Stderr, "verifyslot: -json/-tracefile report an engine run in this process; incompatible with -ta and -server")
 		return 2
 	}
 
@@ -160,7 +177,15 @@ func run() int {
 	if ts != nil {
 		defer dverify.Close(ts)
 		cfg.Distributed = dverify.Runner(ts)
-		fmt.Println(clusterDesc)
+		if !*jsonOut {
+			fmt.Println(clusterDesc)
+		}
+	}
+	var rtr *obs.Trace
+	if *jsonOut || *traceFile != "" {
+		rtr = obs.NewTrace("")
+		cfg.RunID = rtr.RunID
+		cfg.RunTrace = rtr
 	}
 	tv := time.Now()
 	res, err := verify.Slot(profs, cfg)
@@ -174,6 +199,23 @@ func run() int {
 		rate = int(float64(res.States) / verifySecs)
 	}
 	wire := res.Wire // the traced re-run below is local and would clear it
+	if rtr != nil && *traceFile != "" {
+		if err := rtr.WriteFile(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "verifyslot: -tracefile:", err)
+			return 1
+		}
+	}
+	if *jsonOut {
+		// The machine-readable report IS the trace; the text path below
+		// (and its counterexample reconstruction) is the human surface.
+		b, err := rtr.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verifyslot:", err)
+			return 1
+		}
+		os.Stdout.Write(b)
+		return 0
+	}
 	if !res.Schedulable {
 		// Re-run locally, sequentially, with tracing for the disturbance
 		// schedule. Under a distributed run this may exceed the single-node

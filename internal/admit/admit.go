@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"tightcps/internal/mapping"
+	"tightcps/internal/obs"
 	"tightcps/internal/plants"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
@@ -116,7 +117,8 @@ type Options struct {
 // error that ended it. Error records are never stored in the result map.
 type record struct {
 	verdict Verdict
-	warm    bool // admission bit from the persistent cache, no search counts
+	runID   string // telemetry run ID of the verification that produced it
+	warm    bool   // admission bit from the persistent cache, no search counts
 	err     error
 	status  int // HTTP status classifying err
 }
@@ -126,9 +128,11 @@ type record struct {
 type call struct {
 	key      uint64
 	cfgKey   uint64
+	runID    string // minted at enqueue — the admission boundary
 	profiles []*switching.Profile
 	names    []string
 	cfg      verify.Config
+	enqueued time.Time
 	deadline time.Time // leader's budget; zero = none
 	done     chan struct{}
 	rec      *record
@@ -149,6 +153,7 @@ type Service struct {
 	mu       sync.Mutex
 	caches   map[uint64]*mapping.Cache // persistent bit caches, per config salt
 	results  map[uint64]*record        // full verdicts, per service key
+	lat      map[uint64]*obs.Histogram // admission latency, per config salt
 	inflight map[uint64]*call
 	jobs     map[string]*job
 	jobOrder []string
@@ -192,12 +197,26 @@ func New(opts Options) *Service {
 		start:    time.Now(),
 		caches:   map[uint64]*mapping.Cache{},
 		results:  map[uint64]*record{},
+		lat:      map[uint64]*obs.Histogram{},
 		inflight: map[uint64]*call{},
 		jobs:     map[string]*job{},
 		queue:    make(chan *call, opts.QueueDepth),
 		drained:  make(chan struct{}),
 		stopCk:   make(chan struct{}),
 	}
+	// Function gauges read the live service at scrape time; re-registering
+	// rebinds the series, so the newest Service in a process (tests start
+	// several) is the one exposed.
+	obs.NewGaugeFunc("tightcps_admit_queue_depth",
+		"Leader calls waiting in the bounded queue.",
+		func() float64 { return float64(len(s.queue)) })
+	obs.NewGaugeFunc("tightcps_admit_inflight",
+		"Admission questions currently holding an in-flight verification.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.inflight))
+		})
 	for i := 0; i < opts.Concurrency; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -306,12 +325,15 @@ func (s *Service) Admit(req *AdmitRequest) (*AdmitResponse, int) {
 	c, state, status := s.lookup(rq)
 	switch state {
 	case lookupCached:
+		s.observeLatency(rq.cfgKey, t0)
 		v := c.rec.verdict
-		return &AdmitResponse{Verdict: &v, Cached: true, Warm: c.rec.warm, ElapsedMs: msSince(t0)}, http.StatusOK
+		return &AdmitResponse{Verdict: &v, Cached: true, Warm: c.rec.warm, RunID: c.rec.runID, ElapsedMs: msSince(t0)}, http.StatusOK
 	case lookupRefused:
 		return &AdmitResponse{Error: refusalText(status, s.Draining())}, status
 	}
-	return s.wait(c, rq.deadline, state == lookupCoalesced, t0)
+	resp, status := s.wait(c, rq.deadline, state == lookupCoalesced, t0)
+	s.observeLatency(rq.cfgKey, t0)
+	return resp, status
 }
 
 type lookupState int
@@ -332,6 +354,7 @@ func (s *Service) lookup(rq *resolved) (*call, lookupState, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Submitted++
+	obsSubmissions.Inc()
 	if rec, ok := s.results[rq.key]; ok {
 		s.stats.CacheHits++
 		return &call{rec: rec}, lookupCached, http.StatusOK
@@ -346,7 +369,9 @@ func (s *Service) lookup(rq *resolved) (*call, lookupState, int) {
 	}
 	c := &call{
 		key: rq.key, cfgKey: rq.cfgKey,
+		runID:    obs.NewRunID(),
 		profiles: rq.profiles, names: rq.names, cfg: rq.cfg,
+		enqueued: time.Now(),
 		deadline: rq.deadline, done: make(chan struct{}),
 	}
 	select {
@@ -387,10 +412,10 @@ func (s *Service) wait(c *call, deadline time.Time, coalesced bool, t0 time.Time
 	}
 	rec := c.rec
 	if rec.err != nil {
-		return &AdmitResponse{Error: rec.err.Error(), ElapsedMs: msSince(t0)}, rec.status
+		return &AdmitResponse{Error: rec.err.Error(), RunID: rec.runID, ElapsedMs: msSince(t0)}, rec.status
 	}
 	v := rec.verdict
-	return &AdmitResponse{Verdict: &v, Coalesced: coalesced, Warm: rec.warm, ElapsedMs: msSince(t0)}, http.StatusOK
+	return &AdmitResponse{Verdict: &v, Coalesced: coalesced, Warm: rec.warm, RunID: rec.runID, ElapsedMs: msSince(t0)}, http.StatusOK
 }
 
 // submitAsync registers the question as a pollable job. Async submits
@@ -459,10 +484,10 @@ func (s *Service) jobStatus(id string) (*AdmitResponse, int) {
 	case <-j.c.done:
 		rec := j.c.rec
 		if rec.err != nil {
-			return &AdmitResponse{Job: id, Status: "error", Error: rec.err.Error()}, rec.status
+			return &AdmitResponse{Job: id, Status: "error", Error: rec.err.Error(), RunID: rec.runID}, rec.status
 		}
 		v := rec.verdict
-		return &AdmitResponse{Job: id, Status: "done", Verdict: &v, Warm: rec.warm}, http.StatusOK
+		return &AdmitResponse{Job: id, Status: "done", Verdict: &v, Warm: rec.warm, RunID: rec.runID}, http.StatusOK
 	default:
 		return &AdmitResponse{Job: id, Status: "pending"}, http.StatusOK
 	}
@@ -480,7 +505,8 @@ func (s *Service) worker() {
 // singleflight into the backend, then publishes the record and wakes the
 // waiters. Errors are published but never cached.
 func (s *Service) run(c *call) {
-	rec := &record{}
+	obsQueueWait.Observe(time.Since(c.enqueued).Seconds())
+	rec := &record{runID: c.runID}
 	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
 		rec.err = errors.New("request budget exhausted while queued")
 		rec.status = http.StatusServiceUnavailable
@@ -493,8 +519,12 @@ func (s *Service) run(c *call) {
 			s.mu.Lock()
 			s.stats.Verifications++
 			s.mu.Unlock()
+			cfg := c.cfg
+			cfg.RunID = c.runID
+			t := time.Now()
 			var verr error
-			res, verr = s.verify(ps, c.cfg)
+			res, verr = s.verify(ps, cfg)
+			obsBackendRun.Observe(time.Since(t).Seconds())
 			return res.Schedulable, verr
 		})
 		switch {
@@ -528,10 +558,13 @@ func (s *Service) run(c *call) {
 	close(c.done)
 }
 
-// verify dispatches to the attached backend or the local engine.
+// verify dispatches to the attached backend or the local engine — through
+// verify.Slot either way, so every admission verdict passes the engine's
+// single recording point (run counters, trace finalization) exactly like
+// a CLI-driven run.
 func (s *Service) verify(ps []*switching.Profile, cfg verify.Config) (verify.Result, error) {
 	if s.opts.Backend != nil {
-		return s.opts.Backend(ps, cfg)
+		cfg.Distributed = s.opts.Backend
 	}
 	return verify.Slot(ps, cfg)
 }
@@ -701,6 +734,10 @@ type Stats struct {
 	Verdicts      int     `json:"verdicts"`           // full in-memory verdicts
 	PersistentLen int     `json:"persistentVerdicts"` // admission bits across configs
 	Draining      bool    `json:"draining"`
+	// Latency summaries; the full bucketed histograms live in /metricsz.
+	QueueWait  *TimingStats           `json:"queueWait,omitempty"`
+	BackendRun *TimingStats           `json:"backendRun,omitempty"`
+	Latency    map[string]TimingStats `json:"admitLatency,omitempty"` // per config salt
 }
 
 // ServiceStats snapshots the counters.
@@ -722,6 +759,16 @@ func (s *Service) ServiceStats() Stats {
 		st.PersistentLen += c.Len()
 	}
 	st.Draining = s.draining
+	st.QueueWait = timingOf(obsQueueWait)
+	st.BackendRun = timingOf(obsBackendRun)
+	for k, h := range s.lat {
+		if t := timingOf(h); t != nil {
+			if st.Latency == nil {
+				st.Latency = map[string]TimingStats{}
+			}
+			st.Latency[fmt.Sprintf("%016x", k)] = *t
+		}
+	}
 	return st
 }
 

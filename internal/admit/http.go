@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"tightcps/internal/obs"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
 )
@@ -143,6 +144,10 @@ type AdmitResponse struct {
 	Coalesced bool    `json:"coalesced,omitempty"`
 	Warm      bool    `json:"warm,omitempty"`
 	ElapsedMs float64 `json:"elapsedMs,omitempty"`
+	// RunID is the telemetry correlation ID of the verification that
+	// produced (or is producing) the verdict — grep it across the front
+	// door's logs, the coordinator's trace and the workers' sessions.
+	RunID string `json:"runId,omitempty"`
 	// Job/Status report async submits ("pending", "done", "error").
 	Job    string `json:"job,omitempty"`
 	Status string `json:"status,omitempty"`
@@ -159,6 +164,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statsz", s.handleStats)
+	mux.Handle("GET /metricsz", obs.Default.Handler())
 	return mux
 }
 

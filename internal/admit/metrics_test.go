@@ -1,0 +1,121 @@
+package admit
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrapeMetrics GETs url and parses the Prometheus text into a flat
+// series→value map (comments skipped, histogram buckets included under
+// their full name{labels} key).
+func scrapeMetrics(t testing.TB, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricszExposition: the admission handler serves the whole telemetry
+// plane at GET /metricsz — after one verified submit, the engine counters
+// have absorbed the search, the admission counters the request, and the
+// per-config latency histogram one observation. Values are asserted as
+// deltas: the registry is process-global and other tests feed it too.
+func TestMetricszExposition(t *testing.T) {
+	rig := newRig(t, backendCase{"local", 0, false}, nil)
+	url := rig.ts.URL + "/metricsz"
+	before := scrapeMetrics(t, url)
+
+	resp, body := rig.postRaw(t, `{"apps":["C6","C2"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), `"runId":"`) {
+		t.Errorf("admission response carries no run ID: %s", body)
+	}
+
+	after := scrapeMetrics(t, url)
+	// S2 = C6+C2 = 10201 states through the engine counters.
+	if d := after["tightcps_verify_states_total"] - before["tightcps_verify_states_total"]; d < 10201 {
+		t.Errorf("verify states counter moved by %v, want ≥ 10201", d)
+	}
+	if d := after["tightcps_verify_runs_total"] - before["tightcps_verify_runs_total"]; d < 1 {
+		t.Errorf("verify runs counter moved by %v, want ≥ 1", d)
+	}
+	if d := after["tightcps_admit_submissions_total"] - before["tightcps_admit_submissions_total"]; d < 1 {
+		t.Errorf("submissions counter moved by %v, want ≥ 1", d)
+	}
+	// Exactly one latency histogram series must have absorbed this request:
+	// its _count is labeled by the config fingerprint, so sum the family.
+	latDelta := 0.0
+	for k, v := range after {
+		if strings.HasPrefix(k, "tightcps_admit_latency_seconds_count{") {
+			latDelta += v - before[k]
+		}
+	}
+	if latDelta < 1 {
+		t.Errorf("admission latency histograms absorbed %v observations, want ≥ 1", latDelta)
+	}
+	if _, ok := after["tightcps_admit_queue_depth"]; !ok {
+		t.Error("queue depth gauge missing from exposition")
+	}
+	if d := after["tightcps_admit_backend_seconds_count"] - before["tightcps_admit_backend_seconds_count"]; d < 1 {
+		t.Errorf("backend-run histogram moved by %v, want ≥ 1", d)
+	}
+}
+
+// TestStatszTimings: the JSON stats surface mirrors the histograms as
+// count/mean summaries once requests have flowed.
+func TestStatszTimings(t *testing.T) {
+	rig := newRig(t, backendCase{"local", 0, false}, nil)
+	if resp, body := rig.postRaw(t, `{"apps":["C1","C5"]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	resp, err := http.Get(rig.ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"queueWait"`, `"backendRun"`, `"admitLatency"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("statsz missing %s: %s", want, raw)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"strings"
 	"sync"
 
+	"tightcps/internal/obs"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
 )
@@ -107,6 +108,7 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		SymmetryReduction: cfg.SymmetryReduction,
 		MaxStates:         cfg.MaxStates,
 		Workers:           cfg.Workers,
+		RunID:             cfg.RunID,
 	}
 	for i, p := range profiles {
 		job.Profiles[i] = *p
@@ -115,18 +117,24 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		job.MaxStates = defaultMaxStates
 	}
 
+	// The run trace is coordinator-side: the drivers below fold per-level
+	// and per-node spans in; verify.Run finishes it (verdict, wire, slot).
+	tr := cfg.RunTrace
 	switch cfg.DistTopology {
 	case verify.TopologyRelay:
-		return verifyRelay(job, nodes)
+		tr.SetBackend("relay", len(nodes), cfg.Workers)
+		return verifyRelay(job, nodes, tr)
 	case verify.TopologyAuto, verify.TopologyMesh:
 		peers, ok := meshPeers(nodes)
 		if !ok {
 			if cfg.DistTopology == verify.TopologyMesh {
 				return verify.Result{}, errors.New("dverify: these transports cannot form a worker mesh (an unwrapped loopback or TCP cluster is required); use the relay topology")
 			}
-			return verifyRelay(job, nodes)
+			tr.SetBackend("relay", len(nodes), cfg.Workers)
+			return verifyRelay(job, nodes, tr)
 		}
-		return verifyMesh(job, nodes, peers)
+		tr.SetBackend("mesh", len(nodes), cfg.Workers)
+		return verifyMesh(job, nodes, peers, tr)
 	default:
 		return verify.Result{}, fmt.Errorf("dverify: unknown distributed topology %q", cfg.DistTopology)
 	}
@@ -166,8 +174,9 @@ func meshPeers(nodes []Transport) (peers []string, ok bool) {
 // verifyRelay is the level-synchronous topology: every frontier batch
 // transits the coordinator (KindStep collects per-destination batches,
 // KindAbsorb redistributes them), with a barrier and violation
-// short-circuit at every level boundary.
-func verifyRelay(job Job, nodes []Transport) (verify.Result, error) {
+// short-circuit at every level boundary. tr (nil-safe) gains one
+// LevelSpan per barrier.
+func verifyRelay(job Job, nodes []Transport, tr *obs.Trace) (verify.Result, error) {
 	res := verify.Result{Schedulable: true, Bounded: job.MaxDisturbances > 0}
 	resps, err := fanout(nodes, func(i int) *Request {
 		j := job
@@ -192,6 +201,8 @@ func verifyRelay(job Job, nodes []Transport) (verify.Result, error) {
 	stepReq := &Request{Kind: KindStep}
 	for depth := 0; frontier > 0; depth++ {
 		res.Depth = depth
+		levelStates := frontier
+		levelTrans := res.Transitions
 		stepResps, err := fanout(nodes, func(int) *Request { return stepReq })
 		if err != nil {
 			return res, err
@@ -225,6 +236,7 @@ func verifyRelay(job Job, nodes []Transport) (verify.Result, error) {
 		}
 		if viol {
 			res.Schedulable = false
+			tr.AddLevel(depth, levelStates, res.Transitions-levelTrans)
 			return res, nil
 		}
 		if tooLarge {
@@ -253,6 +265,7 @@ func verifyRelay(job Job, nodes []Transport) (verify.Result, error) {
 			frontier += r.Next
 			tooLarge = tooLarge || r.TooLarge
 		}
+		tr.AddLevel(depth, levelStates, res.Transitions-levelTrans)
 		if tooLarge {
 			return res, verify.ErrTooLarge
 		}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tightcps/internal/obs"
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
 )
@@ -363,6 +364,7 @@ func newMeshWorker(job *Job, env meshEnv, prev *meshWorker) (*meshWorker, *Respo
 		w.ensureLevel(0)
 		w.visited.Add(init)
 		w.buckets[0] = append(w.buckets[0], init)
+		w.freshAt[0] = 1
 		w.fresh, resp.Fresh, resp.Next = 1, 1, 1
 	}
 	return w, resp, nil
@@ -461,6 +463,7 @@ func (w *meshWorker) reinit(job *Job, env meshEnv) (*meshWorker, *Response, erro
 		w.ensureLevel(0)
 		w.visited.Add(init)
 		w.buckets[0] = append(w.buckets[0], init)
+		w.freshAt[0] = 1
 		w.fresh, resp.Fresh, resp.Next = 1, 1, 1
 	}
 	return w, resp, nil
@@ -1151,21 +1154,22 @@ func (w *meshWorker) snapshot() *Response {
 	resp := &w.snapResp[w.snapFlip]
 	w.snapFlip ^= 1
 	*resp = Response{
-		Proto:       protoVersion,
-		SentByLevel: append(resp.SentByLevel[:0], w.sentByLevel...),
-		RecvByLevel: append(resp.RecvByLevel[:0], w.recvByLevel...),
-		Links:       resp.Links[:0],
-		Drained:     w.drained(),
-		Idle:        w.idle(),
-		MaxFresh:    w.maxFresh,
-		Fresh:       w.fresh,
-		Transitions: w.transitions,
-		Routed:      w.routed,
-		Filtered:    w.filtered,
-		RawBytes:    8 * w.words * (w.routed + w.filtered),
-		WireBytes:   w.wireBytes,
-		TooLarge:    w.tooLarge,
-		ViolApp:     -1,
+		Proto:        protoVersion,
+		SentByLevel:  append(resp.SentByLevel[:0], w.sentByLevel...),
+		RecvByLevel:  append(resp.RecvByLevel[:0], w.recvByLevel...),
+		FreshByLevel: append(resp.FreshByLevel[:0], w.freshAt...),
+		Links:        resp.Links[:0],
+		Drained:      w.drained(),
+		Idle:         w.idle(),
+		MaxFresh:     w.maxFresh,
+		Fresh:        w.fresh,
+		Transitions:  w.transitions,
+		Routed:       w.routed,
+		Filtered:     w.filtered,
+		RawBytes:     8 * w.words * (w.routed + w.filtered),
+		WireBytes:    w.wireBytes,
+		TooLarge:     w.tooLarge,
+		ViolApp:      -1,
 	}
 	if w.err != nil {
 		resp.Err = w.err.Error()
@@ -1260,12 +1264,18 @@ func (w *meshWorker) waitData(deadline time.Time) bool {
 }
 
 // shutdown tears the node's data plane down (idempotent): links closed,
-// registry entry released.
+// registry entry released. The session's cumulative counters fold into the
+// worker-side metrics here — once per session, zero hot-path cost.
 func (w *meshWorker) shutdown() {
 	if w.finished {
 		return
 	}
 	w.finished = true
+	obsSessions.Inc()
+	obsFresh.Add(uint64(w.fresh))
+	obsWireBytes.Add(uint64(w.wireBytes))
+	obsRoutedStates.Add(uint64(w.routed))
+	obsFilteredStates.Add(uint64(w.filtered))
 	for _, l := range w.links {
 		if l != nil {
 			l.close()
@@ -1414,6 +1424,34 @@ func (t *meshTracker) controlInto(c *Control) {
 	}
 }
 
+// foldMeshTrace folds the final poll round into the run trace: each
+// worker's cumulative per-level fresh commits sum (across nodes) to the
+// global frontier size of every BFS level — the same per-level counts the
+// local drivers record — plus one NodeSpan per worker and the epoch count.
+// Per-level transitions are not attributed in the mesh (workers count them
+// per session, not per level), so the spans carry states only.
+func foldMeshTrace(trace *obs.Trace, resps []*Response, epochs int) {
+	if trace == nil {
+		return
+	}
+	for i, r := range resps {
+		for l, v := range r.FreshByLevel {
+			if v > 0 {
+				trace.AddLevel(l, v, 0)
+			}
+		}
+		sent, recv := 0, 0
+		for _, v := range r.SentByLevel {
+			sent += v
+		}
+		for _, v := range r.RecvByLevel {
+			recv += v
+		}
+		trace.AddNode(i, r.Fresh, r.MaxFresh, sent, recv)
+	}
+	trace.SetEpochs(epochs)
+}
+
 // newSessionID draws a random mesh-rendezvous token; daemons serving
 // several coordinators key their link registries by it.
 func newSessionID() uint64 {
@@ -1507,7 +1545,9 @@ func (p *meshPoller) close() {
 // verifyMesh drives the mesh topology: Init wires the worker↔worker
 // links, then the coordinator runs the poll/epoch control plane until the
 // tracker proves termination, and a Finish round collects final counters.
-func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, error) {
+// trace (nil-safe) gains the per-level frontier sizes (from the workers'
+// FreshByLevel snapshots), one NodeSpan per worker and the epoch count.
+func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace) (verify.Result, error) {
 	res := verify.Result{Schedulable: true, Bounded: job.MaxDisturbances > 0}
 	job.Mesh = true
 	job.Session = newSessionID()
@@ -1540,6 +1580,7 @@ func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, erro
 		return resps, nil
 	}
 	req := &Request{Kind: KindPoll, Ctl: &ctl}
+	epochs := 0
 	for {
 		tr.controlInto(&ctl)
 		if err := poller.round(resps, req); err != nil {
@@ -1547,6 +1588,7 @@ func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, erro
 			// session ends (transport Close / next Init).
 			return res, err
 		}
+		epochs++
 		tr.observe(resps)
 		tr.advance()
 		if tr.tooLarge && !tr.haveViol {
@@ -1570,6 +1612,7 @@ func verifyMesh(job Job, nodes []Transport, peers []string) (verify.Result, erro
 				return res, err
 			}
 			tr.observe(final)
+			foldMeshTrace(trace, final, epochs+1)
 			res.States = tr.fresh
 			res.Transitions = tr.transitions
 			res.Wire = tr.wire

@@ -1,0 +1,21 @@
+package dverify
+
+// Worker-side telemetry. A verifyd daemon is a mesh worker, not a
+// coordinator — the engine counters of internal/verify never move there —
+// so the worker plane exports its own series, folded in once per session
+// at shutdown (never per state, never per poll).
+
+import "tightcps/internal/obs"
+
+var (
+	obsSessions = obs.NewCounter("tightcps_dverify_sessions_total",
+		"Mesh worker sessions completed on this process (one per Init, counted at teardown).")
+	obsFresh = obs.NewCounter("tightcps_dverify_fresh_states_total",
+		"States committed into this worker's visited partitions across completed sessions.")
+	obsWireBytes = obs.NewCounter("tightcps_dverify_wire_bytes_total",
+		"Encoded frontier bytes this worker shipped onto its mesh links across completed sessions.")
+	obsRoutedStates = obs.NewCounter("tightcps_dverify_routed_states_total",
+		"Foreign successors this worker routed onto its mesh links across completed sessions.")
+	obsFilteredStates = obs.NewCounter("tightcps_dverify_filtered_states_total",
+		"Foreign successors suppressed by the send filters across completed sessions.")
+)

@@ -24,13 +24,14 @@ import (
 // verifyd daemon), corrupting the search with no error. KindInit therefore
 // carries the coordinator's version in Job.Proto and the node echoes its
 // own in Response.Proto, so either side rejects a mismatch loudly before
-// any frontier is exchanged. Version 4 is the PR-6 protocol (per-node
-// expansion worker pools: Job carries Workers); version 3 is the PR-5
-// protocol (worker↔worker mesh links, pipelined levels, poll/epoch control
-// plane); version 2 is the PR-4 relay protocol (per-source absorb batch
-// lists, codec-framed); PR-3 binaries predate the field and present as
-// version 0.
-const protoVersion = 4
+// any frontier is exchanged. Version 5 is the PR-8 protocol (telemetry:
+// Job carries the run ID, mesh snapshots carry per-level fresh-commit
+// counts); version 4 is the PR-6 protocol (per-node expansion worker
+// pools: Job carries Workers); version 3 is the PR-5 protocol
+// (worker↔worker mesh links, pipelined levels, poll/epoch control plane);
+// version 2 is the PR-4 relay protocol (per-source absorb batch lists,
+// codec-framed); PR-3 binaries predate the field and present as version 0.
+const protoVersion = 5
 
 // Kind discriminates coordinator requests.
 type Kind uint8
@@ -92,6 +93,10 @@ type Job struct {
 	// Session identifies this run's mesh rendezvous: peer links carry it
 	// so a daemon serving several coordinators never cross-wires links.
 	Session uint64
+	// RunID is the telemetry correlation ID minted where the run entered
+	// the system (admission service or CLI). Purely observational: it
+	// never affects the search, and nodes only log it.
+	RunID string
 	// Peers are the advertised addresses of every node in the cluster,
 	// indexed by node ID (nil for in-process loopback meshes, where links
 	// are channels). Node i dials Peers[j] for every j ≠ i.
@@ -222,6 +227,11 @@ type Response struct {
 	// MaxFresh is the deepest level at which this node committed a fresh
 	// state (the node's contribution to Result.Depth).
 	MaxFresh int
+	// FreshByLevel counts the fresh states this node committed per BFS
+	// level (cumulative, like the other snapshot counters). The
+	// coordinator folds these into the run trace: summed across nodes,
+	// level L's count is the size of the global BFS frontier at depth L.
+	FreshByLevel []int
 	// Links are this node's cumulative per-destination wire counters.
 	Links []verify.LinkWire
 }

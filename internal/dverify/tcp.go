@@ -336,6 +336,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer h.reset()
 	req := &first
 	for {
+		if req.Kind == KindInit && req.Job != nil && req.Job.RunID != "" {
+			// The run ID is the cross-plane join key: grep it here, in the
+			// admission front door's response, and in the coordinator trace.
+			s.logf("session %s: run %s (node %d of %d)", conn.RemoteAddr(), req.Job.RunID, req.Job.NodeID, req.Job.NumNodes)
+		}
 		if err := enc.Encode(h.handle(req)); err != nil {
 			s.logf("session %s: encode: %v", conn.RemoteAddr(), err)
 			return

@@ -2,6 +2,8 @@ package verify
 
 import (
 	"testing"
+
+	"tightcps/internal/obs"
 )
 
 // The allocation gates of the zero-allocation expansion core: once a
@@ -103,25 +105,44 @@ func TestExpansionCoreAllocFree(t *testing.T) {
 // TestSequentialSearchAllocAmortized gates the whole sequential driver:
 // verifying slot S2 (10201 states) end to end — verifier construction
 // included — must cost far less than one allocation per hundred states.
-// The PR-3 core allocated ~3 per state.
+// The PR-3 core allocated ~3 per state. The traced subtest runs the same
+// search with the full telemetry plane attached (metrics are always on; a
+// RunTrace adds the per-level spans) under the same budget: telemetry is
+// level-granular, so it must not change the gate.
 func TestSequentialSearchAllocAmortized(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; gate runs in the non-race CI job")
 	}
 	ps := caseProfiles(t, "C6", "C2")
-	var states int
-	allocs := testing.AllocsPerRun(2, func() {
-		res, err := Slot(ps, Config{NondetTies: true, Workers: 1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !res.Schedulable {
-			t.Fatal("S2 must verify")
-		}
-		states = res.States
-	})
-	if budget := float64(states)/100 + 100; allocs > budget {
-		t.Fatalf("sequential S2 search (%d states) allocates %.0f times, budget %.0f (O(1) amortized per state)", states, allocs, budget)
+	for _, tc := range []struct {
+		name   string
+		traced bool
+	}{
+		{"plain", false},
+		{"telemetry", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var states int
+			allocs := testing.AllocsPerRun(2, func() {
+				cfg := Config{NondetTies: true, Workers: 1}
+				if tc.traced {
+					tr := obs.NewTrace("")
+					cfg.RunID, cfg.RunTrace = tr.RunID, tr
+				}
+				res, err := Slot(ps, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Schedulable {
+					t.Fatal("S2 must verify")
+				}
+				states = res.States
+			})
+			if budget := float64(states)/100 + 100; allocs > budget {
+				t.Fatalf("sequential S2 search (%d states, traced=%v) allocates %.0f times, budget %.0f (O(1) amortized per state)",
+					states, tc.traced, allocs, budget)
+			}
+		})
 	}
 }
 

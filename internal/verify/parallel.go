@@ -71,6 +71,8 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
+		obsLevels.Inc()
+		levelTrans := res.Transitions
 		visited.reserve(levelReserve(len(frontier), prevFrontier))
 		var cursor atomic.Int64
 		var minViol atomic.Uint64
@@ -153,6 +155,7 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 				}
 				res.Transitions += w.trans
 			}
+			v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 			return res, nil
 		}
 		if tooLarge.Load() {
@@ -164,6 +167,7 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 			res.Transitions += w.trans
 			total += len(w.next)
 		}
+		v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 		if cap(spare) < total {
 			spare = make([]uint64, 0, total)
 		}
@@ -221,6 +225,8 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
+		obsLevels.Inc()
+		levelTrans := res.Transitions
 		visited.reserve(levelReserve(len(frontier), prevFrontier))
 		var cursor atomic.Int64
 		var minViol atomic.Pointer[wstate]
@@ -306,6 +312,7 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 				}
 				res.Transitions += w.trans
 			}
+			v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 			return res, nil
 		}
 		if tooLarge.Load() {
@@ -317,6 +324,7 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 			res.Transitions += w.trans
 			total += len(w.next)
 		}
+		v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 		if cap(spare) < total {
 			spare = make([]wstate, 0, total)
 		}

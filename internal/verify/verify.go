@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"slices"
 
+	"tightcps/internal/obs"
 	"tightcps/internal/sched"
 	"tightcps/internal/switching"
 )
@@ -121,6 +122,19 @@ type Config struct {
 	// worker↔worker links with pipelined asynchronous levels, TopologyRelay
 	// is the level-synchronous coordinator relay.
 	DistTopology DistTopology
+	// RunID tags this run in logs, traces and distributed worker sessions.
+	// Minted at the admission boundary (or by the CLI) via obs.NewRunID and
+	// propagated through the Distributed hook onto every mesh worker; it
+	// never affects the verdict or any cache key.
+	RunID string
+	// RunTrace, when non-nil, receives the run's telemetry: per-level spans
+	// from the search drivers, per-node/per-link breakdowns from a
+	// distributed backend, and the verdict totals on completion. Recording
+	// is level-granular — the expansion hot path is untouched — so the
+	// zero-allocation gates hold with a trace attached. Distinct from
+	// Trace, which records parent pointers for counterexample
+	// reconstruction.
+	RunTrace *obs.Trace
 }
 
 // DistTopology names a distributed frontier-exchange topology.
@@ -799,8 +813,19 @@ func (v *Verifier) missCheck(c *cstate) int {
 // Run performs the BFS reachability analysis, fanning the frontier out over
 // Config.Workers goroutines (sequentially when Workers is 1 or a trace is
 // requested). Application sets that do not fit the one-word encoding run on
-// the multi-word wide path with identical semantics.
+// the multi-word wide path with identical semantics. Every completed run —
+// local or distributed — is folded into the engine metrics and, when
+// Config.RunTrace is set, finalizes the run trace here.
 func (v *Verifier) Run() (Result, error) {
+	obsActive.Add(1)
+	res, err := v.dispatch()
+	obsActive.Add(-1)
+	v.recordRun(res, err)
+	return res, err
+}
+
+// dispatch routes the run to the distributed hook or a local driver.
+func (v *Verifier) dispatch() (Result, error) {
 	if v.cfg.Distributed != nil {
 		cfg := v.cfg
 		cfg.Distributed = nil
@@ -861,6 +886,8 @@ func (v *Verifier) runSequential() (Result, error) {
 	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
+		obsLevels.Inc()
+		levelTrans := res.Transitions
 		visited.reserve(levelReserve(len(frontier), prevFrontier))
 		next = next[:0]
 		for _, s := range frontier {
@@ -874,6 +901,7 @@ func (v *Verifier) runSequential() (Result, error) {
 				if v.cfg.Trace {
 					res.Counterexample = v.rebuildTrace(parents, s, init)
 				}
+				v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 				return res, nil
 			}
 			res.Transitions += len(succBuf)
@@ -890,6 +918,7 @@ func (v *Verifier) runSequential() (Result, error) {
 				}
 			}
 		}
+		v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 		prevFrontier = len(frontier)
 		frontier, next = next, frontier
 	}
@@ -916,6 +945,8 @@ func (v *Verifier) runSequentialWide() (Result, error) {
 	prevFrontier := 1
 	for depth := 0; len(frontier) > 0; depth++ {
 		res.Depth = depth
+		obsLevels.Inc()
+		levelTrans := res.Transitions
 		visited.reserve(levelReserve(len(frontier), prevFrontier))
 		next = next[:0]
 		for _, s := range frontier {
@@ -929,6 +960,7 @@ func (v *Verifier) runSequentialWide() (Result, error) {
 				if v.cfg.Trace {
 					res.Counterexample = v.rebuildTraceWide(parents, s, init)
 				}
+				v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 				return res, nil
 			}
 			res.Transitions += len(succBuf)
@@ -945,6 +977,7 @@ func (v *Verifier) runSequentialWide() (Result, error) {
 				}
 			}
 		}
+		v.cfg.RunTrace.AddLevel(depth, len(frontier), res.Transitions-levelTrans)
 		prevFrontier = len(frontier)
 		frontier, next = next, frontier
 	}
