@@ -26,6 +26,15 @@
 //	verifyd -http 127.0.0.1:9833 -listen "" [-nodes 4]      # front door only
 //	verifyd -http :9833 -connect host1:9471,host2:9471      # front door over a fleet
 //
+// Resilience: -connect dials with a bounded exponential-backoff retry
+// (-connect-retries, -connect-backoff) so the fleet may boot in any
+// order. -ft makes the distributed runs fault-tolerant — worker deaths
+// are survived by reassigning the dead node's hash shards and rolling
+// back to the last per-level checkpoint under -ftdir, with the verdict
+// and all exhaustive counts unchanged. -retries, -breaker and
+// -localfallback govern the admission plane's backend retry policy,
+// circuit breaker, and local degraded mode (all off by default).
+//
 // Both planes drain on SIGINT/SIGTERM: new sessions and new submits are
 // refused (HTTP submits get 503 + Retry-After) while in-flight searches
 // and verdicts run to completion and the verdict cache checkpoints; a
@@ -56,6 +65,8 @@ import (
 	"tightcps/internal/admit"
 	"tightcps/internal/dverify"
 	"tightcps/internal/obs"
+	"tightcps/internal/switching"
+	"tightcps/internal/verify"
 )
 
 // mountDebug adds the pprof handlers and the expvar bridge to an admin mux.
@@ -74,6 +85,10 @@ func main() {
 	httpAddr := flag.String("http", "", "admission-plane HTTP address (empty disables the admission plane)")
 	nodes := flag.Int("nodes", 0, "admission plane: verify over N loopback lane workers in this process (0 = local engine)")
 	connect := flag.String("connect", "", "admission plane: verify over this comma-separated worker fleet")
+	connectRetries := flag.Int("connect-retries", 5, "startup dial attempts per -connect worker address (1 = no retry)")
+	connectBackoff := flag.Duration("connect-backoff", 500*time.Millisecond, "base backoff between -connect dial attempts (doubled per attempt, capped at 10s)")
+	ft := flag.Bool("ft", false, "fault-tolerant distributed runs: survive worker deaths by shard reassignment and rollback (see -ftdir)")
+	ftdir := flag.String("ftdir", "", "checkpoint directory for -ft runs, visible to every worker (empty = recovery restarts the search)")
 	workers := flag.Int("workers", 0, "expansion workers per search/node (0 = GOMAXPROCS, min 2)")
 	cachedir := flag.String("cachedir", "", "persist admission verdicts under this directory (sharded, incremental)")
 	checkpoint := flag.Duration("checkpoint", 30*time.Second, "verdict-cache checkpoint interval")
@@ -81,6 +96,11 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "concurrent backend verifications")
 	maxstates := flag.Int("maxstates", 0, "clamp per-request state budgets (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "default per-request budget when the submit sets none (0 = none)")
+	retries := flag.Int("retries", 0, "retry transient backend failures this many times (0 = report the first failure)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first backend retry (0 = 100ms; doubled per attempt, jittered, capped at 5s)")
+	breaker := flag.Int("breaker", 0, "open the backend circuit after this many consecutive failed verifications (0 = no breaker)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit refuses the backend (0 = 30s)")
+	localFallback := flag.Bool("localfallback", false, "serve verdicts from the in-process engine when the backend is unavailable instead of returning 502")
 	metricsAddr := flag.String("metrics", "", "HTTP admin address serving /metricsz (for worker-only daemons; the admission plane serves /metricsz itself)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof and /debug/vars on the HTTP surfaces")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
@@ -93,6 +113,12 @@ func main() {
 	}
 	if *listen == "" && *httpAddr == "" {
 		fmt.Fprintln(os.Stderr, "verifyd: nothing to serve (both -listen and -http empty)")
+		os.Exit(2)
+	}
+	if *ft && *nodes == 0 && *connect == "" {
+		// Workers inherit fault tolerance from the coordinator's job setup;
+		// -ft only means something on the side driving a cluster.
+		fmt.Fprintln(os.Stderr, "verifyd: -ft drives a cluster; it needs -nodes or -connect")
 		os.Exit(2)
 	}
 
@@ -154,16 +180,21 @@ func main() {
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		opts := admit.Options{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			Concurrency:    *concurrency,
-			MaxStates:      *maxstates,
-			DefaultTimeout: *timeout,
-			CacheDir:       *cachedir,
-			Checkpoint:     *checkpoint,
-			Logf:           logf,
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			Concurrency:      *concurrency,
+			MaxStates:        *maxstates,
+			DefaultTimeout:   *timeout,
+			CacheDir:         *cachedir,
+			Checkpoint:       *checkpoint,
+			RetryAttempts:    *retries,
+			RetryBackoff:     *retryBackoff,
+			BreakerThreshold: *breaker,
+			BreakerCooldown:  *breakerCooldown,
+			LocalFallback:    *localFallback,
+			Logf:             logf,
 		}
-		ts, desc, err := dverify.Cluster(*nodes, *connect)
+		ts, desc, err := dverify.ClusterRetry(*nodes, *connect, *connectRetries, *connectBackoff, logf)
 		if err != nil {
 			fail(err)
 		}
@@ -172,6 +203,17 @@ func main() {
 			opts.Backend = dverify.Runner(ts)
 			opts.BackendNodes = len(ts)
 			opts.BackendDesc = desc
+			if *ft {
+				// Fault tolerance is a deployment property of this cluster,
+				// not a per-request knob: stamp it onto every backend run.
+				run, dir := opts.Backend, *ftdir
+				opts.Backend = func(ps []*switching.Profile, cfg verify.Config) (verify.Result, error) {
+					cfg.FaultTolerance = true
+					cfg.CheckpointDir = dir
+					return run(ps, cfg)
+				}
+				opts.BackendDesc += " (fault-tolerant)"
+			}
 		}
 		svc = admit.New(opts)
 		l, err := net.Listen("tcp", *httpAddr)

@@ -72,8 +72,13 @@ func run() int {
 	maxStates := flag.Int("maxstates", 0, "visited-state budget, per node when distributed (0 = 200M)")
 	nodes := flag.Int("nodes", 0, "distribute over K in-process loopback workers (0 = local verification)")
 	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
+	connectRetries := flag.Int("connect-retries", 1, "startup dial attempts per -connect worker address (1 = no retry)")
+	connectBackoff := flag.Duration("connect-backoff", 500*time.Millisecond, "base backoff between -connect dial attempts (doubled per attempt, capped at 10s)")
+	ft := flag.Bool("ft", false, "fault-tolerant distributed run: survive worker deaths by shard reassignment and rollback (see -ftdir)")
+	ftdir := flag.String("ftdir", "", "checkpoint directory for -ft runs, visible to every worker (empty = recovery restarts the search)")
 	mesh := flag.Bool("mesh", true, "distributed topology: worker↔worker mesh with pipelined levels (false = level-synchronous coordinator relay)")
 	server := flag.String("server", "", "submit to an admission service at this base URL (e.g. http://host:9833) instead of verifying locally")
+	serverRetries := flag.Int("server-retries", 0, "retry -server submits refused with 503 (drain, full queue) this many times, honoring Retry-After")
 	jsonOut := flag.Bool("json", false, "emit the run report as JSON (the per-run trace: verdict, per-level table, wire stats) instead of text")
 	traceFile := flag.String("tracefile", "", "write the per-run JSON trace report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the verification to this file")
@@ -106,7 +111,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "verifyslot: -server submits remotely; -ta/-nodes/-connect/-cpuprofile/-memprofile are local-run flags")
 			return 2
 		}
-		return runServer(*server, names, verify.Spec{
+		return runServer(*server, *serverRetries, names, verify.Spec{
 			Bounded:   *bounded,
 			MaxStates: *maxStates,
 		}, *lazy)
@@ -169,14 +174,28 @@ func run() int {
 	if !*mesh {
 		cfg.DistTopology = verify.TopologyRelay
 	}
-	ts, clusterDesc, err := dverify.Cluster(*nodes, *connect)
+	var dialLogf func(format string, args ...any)
+	if !*jsonOut {
+		dialLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "verifyslot: "+format+"\n", args...)
+		}
+	}
+	ts, clusterDesc, err := dverify.ClusterRetry(*nodes, *connect, *connectRetries, *connectBackoff, dialLogf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyslot:", err)
+		return 2
+	}
+	if *ft && ts == nil {
+		fmt.Fprintln(os.Stderr, "verifyslot: -ft is a distributed-run flag; it needs -nodes or -connect")
 		return 2
 	}
 	if ts != nil {
 		defer dverify.Close(ts)
 		cfg.Distributed = dverify.Runner(ts)
+		cfg.FaultTolerance = *ft
+		if *ft {
+			cfg.CheckpointDir = *ftdir
+		}
 		if !*jsonOut {
 			fmt.Println(clusterDesc)
 		}
@@ -263,11 +282,11 @@ func run() int {
 // running admission service (verifyd -http) — where fleet-wide coalescing
 // and the persistent verdict cache live — and the verdict is printed in
 // the same shape as a local run so scripts and CI greps work unchanged.
-func runServer(base string, names []string, spec verify.Spec, lazy bool) int {
+func runServer(base string, retries int, names []string, spec verify.Spec, lazy bool) int {
 	if lazy {
 		spec.Policy = "lazy"
 	}
-	cli := &admit.Client{BaseURL: base}
+	cli := &admit.Client{BaseURL: base, Retry503: retries}
 	resp, err := cli.Admit(&admit.AdmitRequest{Apps: names, Config: spec})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyslot:", err)

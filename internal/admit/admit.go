@@ -106,6 +106,30 @@ type Options struct {
 	// Checkpoint is the periodic checkpoint interval for a hot service
 	// (default 30s when CacheDir is set).
 	Checkpoint time.Duration
+	// RetryAttempts is the number of times a failed backend verification
+	// is retried before the failure is reported (0 = no retries, the
+	// default). Only transient cluster faults are retried — budget
+	// (ErrTooLarge) and encoding errors are deterministic properties of
+	// the request and never retry; see retryable.
+	RetryAttempts int
+	// RetryBackoff is the base delay before the first retry; successive
+	// retries double it (with jitter, capped at 5s). 0 = 100ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold opens the backend circuit after this many
+	// consecutive failed verifications (retries exhausted); while open,
+	// submits skip the cluster entirely — served locally when
+	// LocalFallback is set, refused with 503 + Retry-After otherwise.
+	// 0 (the default) disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open (0 = 30s). The
+	// first submit after the cooldown probes the cluster again.
+	BreakerCooldown time.Duration
+	// LocalFallback serves verdicts from the in-process engine when the
+	// cluster is unavailable (retries exhausted, or breaker open) instead
+	// of returning 502. Off by default: the local engine's MaxStates is a
+	// per-process budget, so a budget-capped question can get a
+	// different (still sound) ErrTooLarge boundary than the cluster.
+	LocalFallback bool
 	// Profiles resolves named applications ("apps" in a request) to
 	// profiles; nil uses the paper's case study (plants.ProfileList).
 	Profiles func(names []string) ([]*switching.Profile, error)
@@ -161,6 +185,11 @@ type Service struct {
 	queue    chan *call
 	draining bool
 	stats    Stats
+
+	// Circuit-breaker state (under mu): consecutive backend failures and
+	// the instant until which the circuit stays open.
+	breakerFails int
+	breakerUntil time.Time
 
 	workers   sync.WaitGroup
 	drainOnce sync.Once
@@ -558,19 +587,9 @@ func (s *Service) run(c *call) {
 	close(c.done)
 }
 
-// verify dispatches to the attached backend or the local engine — through
-// verify.Slot either way, so every admission verdict passes the engine's
-// single recording point (run counters, trace finalization) exactly like
-// a CLI-driven run.
-func (s *Service) verify(ps []*switching.Profile, cfg verify.Config) (verify.Result, error) {
-	if s.opts.Backend != nil {
-		cfg.Distributed = s.opts.Backend
-	}
-	return verify.Slot(ps, cfg)
-}
-
 // statusOf classifies a verification error: budget and encoding problems
-// are the request's fault; anything else from an attached cluster is a
+// are the request's fault; an open circuit is a 503 (with Retry-After —
+// the cooldown will pass); anything else from an attached cluster is a
 // bad gateway (a crashed worker, a broken mesh link — the error names the
 // node).
 func (s *Service) statusOf(err error) int {
@@ -579,6 +598,8 @@ func (s *Service) statusOf(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, verify.ErrEncoding):
 		return http.StatusBadRequest
+	case errors.Is(err, errBreakerOpen):
+		return http.StatusServiceUnavailable
 	case s.opts.Backend != nil:
 		return http.StatusBadGateway
 	default:
@@ -604,9 +625,13 @@ func (s *Service) cacheFor(cfgKey uint64) *mapping.Cache {
 	s.caches[cfgKey] = c
 	s.mu.Unlock()
 	if s.opts.CacheDir != "" {
-		if n, err := c.LoadDir(s.cacheSubdir(cfgKey)); err != nil {
-			s.opts.Logf("admit: loading cache shards for cfg %016x: %v", cfgKey, err)
-		} else if n > 0 {
+		// A bad shard is skipped, not fatal: the healthy shards still
+		// warm-start, and the damage is logged for the operator.
+		n, err := c.LoadDir(s.cacheSubdir(cfgKey))
+		if err != nil {
+			s.opts.Logf("admit: unreadable cache shards for cfg %016x skipped: %v", cfgKey, err)
+		}
+		if n > 0 {
 			s.opts.Logf("admit: warm start: %d verdicts from %d shards (cfg %016x)", c.Len(), n, cfgKey)
 		}
 	}
@@ -728,12 +753,17 @@ type Stats struct {
 	WarmHits      int     `json:"warmHits"`
 	Refused       int     `json:"refused"`
 	Errors        int     `json:"errors"`
-	QueueDepth    int     `json:"queueDepth"`
-	Inflight      int     `json:"inflight"`
-	Jobs          int     `json:"jobs"`
-	Verdicts      int     `json:"verdicts"`           // full in-memory verdicts
-	PersistentLen int     `json:"persistentVerdicts"` // admission bits across configs
-	Draining      bool    `json:"draining"`
+	// Backend resilience counters (zero unless the retry policy, breaker
+	// or local fallback are configured).
+	Retries        int  `json:"retries,omitempty"`
+	BreakerTrips   int  `json:"breakerTrips,omitempty"`
+	LocalFallbacks int  `json:"localFallbacks,omitempty"`
+	QueueDepth     int  `json:"queueDepth"`
+	Inflight       int  `json:"inflight"`
+	Jobs           int  `json:"jobs"`
+	Verdicts       int  `json:"verdicts"`           // full in-memory verdicts
+	PersistentLen  int  `json:"persistentVerdicts"` // admission bits across configs
+	Draining       bool `json:"draining"`
 	// Latency summaries; the full bucketed histograms live in /metricsz.
 	QueueWait  *TimingStats           `json:"queueWait,omitempty"`
 	BackendRun *TimingStats           `json:"backendRun,omitempty"`

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"tightcps/internal/obs"
 	"tightcps/internal/switching"
@@ -248,36 +249,76 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry503 re-submits up to this many times when the service refuses
+	// with 503 (draining instance, full queue, open breaker), honoring
+	// the server's Retry-After header. 0 (the default) returns the 503
+	// to the caller unchanged.
+	Retry503 int
+	// MaxRetryWait caps one Retry-After wait — a server advertising a
+	// long drain must not pin the client (0 = 5s cap).
+	MaxRetryWait time.Duration
 }
 
 // Admit submits one question and returns the service's response. Non-2xx
-// responses return a *StatusError carrying the service's message.
+// responses return a *StatusError carrying the service's message; 503
+// refusals are re-submitted per Retry503, waiting out the server's
+// (capped) Retry-After between attempts.
 func (c *Client) Admit(req *AdmitRequest) (*AdmitResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
+	for attempt := 0; ; attempt++ {
+		resp, wait, err := c.post(body)
+		se, ok := AsStatusError(err)
+		if !ok || se.Status != http.StatusServiceUnavailable || attempt >= c.Retry503 {
+			return resp, err
+		}
+		time.Sleep(wait)
+	}
+}
+
+// post runs one submit attempt, returning the capped Retry-After wait
+// alongside any 503-class refusal.
+func (c *Client) post(body []byte) (*AdmitResponse, time.Duration, error) {
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	httpResp, err := hc.Post(c.BaseURL+"/v1/admit", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("admit: submitting to %s: %w", c.BaseURL, err)
+		return nil, 0, fmt.Errorf("admit: submitting to %s: %w", c.BaseURL, err)
 	}
 	defer httpResp.Body.Close()
 	var resp AdmitResponse
 	if err := json.NewDecoder(io.LimitReader(httpResp.Body, maxBody)).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("admit: decoding response (HTTP %d): %w", httpResp.StatusCode, err)
+		return nil, 0, fmt.Errorf("admit: decoding response (HTTP %d): %w", httpResp.StatusCode, err)
 	}
 	if httpResp.StatusCode/100 != 2 {
 		msg := resp.Error
 		if msg == "" {
 			msg = "status " + strconv.Itoa(httpResp.StatusCode)
 		}
-		return &resp, &StatusError{Status: httpResp.StatusCode, Msg: msg}
+		return &resp, c.retryWait(httpResp.Header.Get("Retry-After")), &StatusError{Status: httpResp.StatusCode, Msg: msg}
 	}
-	return &resp, nil
+	return &resp, 0, nil
+}
+
+// retryWait converts a Retry-After header (delta-seconds form) into a
+// capped wait; absent or unparseable headers wait 1s.
+func (c *Client) retryWait(header string) time.Duration {
+	wait := time.Second
+	if sec, err := strconv.Atoi(header); err == nil && sec >= 0 {
+		wait = time.Duration(sec) * time.Second
+	}
+	cap := c.MaxRetryWait
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	if wait > cap {
+		wait = cap
+	}
+	return wait
 }
 
 // Verify asks the service for one verdict over inline profiles, the

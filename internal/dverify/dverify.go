@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"tightcps/internal/obs"
 	"tightcps/internal/switching"
@@ -85,6 +86,15 @@ type Transport interface {
 // loopback or TCP clusters — and falls back to the level-synchronous
 // coordinator relay otherwise.
 func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport) (verify.Result, error) {
+	return verifyWithFaults(profiles, cfg, nodes, nil)
+}
+
+// verifyWithFaults is Verify with a deterministic fault-injection plan
+// attached (nil for production runs): the plan's kills fire at exact
+// tracker milestones and its spares are adopted as replacement workers
+// during recovery. The fault-matrix tests drive every recovery path
+// through this entry.
+func verifyWithFaults(profiles []*switching.Profile, cfg verify.Config, nodes []Transport, plan *faultPlan) (verify.Result, error) {
 	if len(nodes) < 1 || len(nodes) > maxNodes {
 		return verify.Result{}, fmt.Errorf("dverify: %d nodes (want 1..%d)", len(nodes), maxNodes)
 	}
@@ -109,6 +119,8 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 		MaxStates:         cfg.MaxStates,
 		Workers:           cfg.Workers,
 		RunID:             cfg.RunID,
+		FT:                cfg.FaultTolerance,
+		CheckpointDir:     cfg.CheckpointDir,
 	}
 	for i, p := range profiles {
 		job.Profiles[i] = *p
@@ -123,7 +135,7 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 	switch cfg.DistTopology {
 	case verify.TopologyRelay:
 		tr.SetBackend("relay", len(nodes), cfg.Workers)
-		return verifyRelay(job, nodes, tr)
+		return verifyRelay(job, nodes, tr, plan)
 	case verify.TopologyAuto, verify.TopologyMesh:
 		peers, ok := meshPeers(nodes)
 		if !ok {
@@ -131,10 +143,10 @@ func Verify(profiles []*switching.Profile, cfg verify.Config, nodes []Transport)
 				return verify.Result{}, errors.New("dverify: these transports cannot form a worker mesh (an unwrapped loopback or TCP cluster is required); use the relay topology")
 			}
 			tr.SetBackend("relay", len(nodes), cfg.Workers)
-			return verifyRelay(job, nodes, tr)
+			return verifyRelay(job, nodes, tr, plan)
 		}
 		tr.SetBackend("mesh", len(nodes), cfg.Workers)
-		return verifyMesh(job, nodes, peers, tr)
+		return verifyMesh(job, nodes, peers, tr, plan)
 	default:
 		return verify.Result{}, fmt.Errorf("dverify: unknown distributed topology %q", cfg.DistTopology)
 	}
@@ -176,8 +188,58 @@ func meshPeers(nodes []Transport) (peers []string, ok bool) {
 // KindAbsorb redistributes them), with a barrier and violation
 // short-circuit at every level boundary. tr (nil-safe) gains one
 // LevelSpan per barrier.
-func verifyRelay(job Job, nodes []Transport, tr *obs.Trace) (verify.Result, error) {
+//
+// With job.FT set, a worker death (transport error or worker-side Err)
+// does not poison the run: the relay holds no pipelined state between
+// levels and every KindInit resets the survivors, so recovery is a full
+// restart of the search on the remaining nodes — simpler than the mesh's
+// checkpoint rollback, at the cost of re-exploring from the initial
+// state. The restart sequence is bounded by the cluster size (every
+// recovery loses at least one node) and the verdict is unchanged: the
+// survivors re-partition all 64 shards among themselves. ErrTooLarge is
+// never retried — fewer nodes means less aggregate budget, so a restart
+// could only trip it again later.
+func verifyRelay(job Job, nodes []Transport, tr *obs.Trace, plan *faultPlan) (verify.Result, error) {
+	if !job.FT {
+		return relayOnce(job, nodes, tr, plan, 0)
+	}
+	alive := append([]Transport(nil), nodes...)
+	era := 0
+	for {
+		var scratch *obs.Trace
+		if tr != nil {
+			// Levels fold into a scratch trace so an aborted attempt's
+			// partial spans never double-count in the run trace.
+			scratch = obs.NewTrace(tr.RunID)
+		}
+		j := job
+		j.NumNodes = len(alive)
+		res, err := relayOnce(j, alive, scratch, plan, era)
+		var ne *nodeError
+		if err != nil && !errors.Is(err, verify.ErrTooLarge) && errors.As(err, &ne) && len(alive) > 1 {
+			d := ne.node
+			alive = append(alive[:d:d], alive[d+1:]...)
+			era++
+			obsRecoveries.Inc()
+			obsShardsReassigned.Add(numShards) // full restart: every shard re-partitioned
+			tr.AddFailover(era, []int{d}, -1, numShards)
+			continue
+		}
+		if tr != nil && scratch != nil && (err == nil || errors.Is(err, verify.ErrTooLarge)) {
+			for _, ls := range scratch.Levels {
+				tr.AddLevel(ls.Level, ls.States, ls.Transitions)
+			}
+		}
+		return res, err
+	}
+}
+
+// relayOnce runs one relay attempt over the given nodes. plan (nil-safe)
+// fires its kills against the depth milestone; era is the number of
+// recoveries already behind us, for double-fault scripts.
+func relayOnce(job Job, nodes []Transport, tr *obs.Trace, plan *faultPlan, era int) (verify.Result, error) {
 	res := verify.Result{Schedulable: true, Bounded: job.MaxDisturbances > 0}
+	plan.fire(0, era)
 	resps, err := fanout(nodes, func(i int) *Request {
 		j := job
 		j.NodeID = i
@@ -200,6 +262,7 @@ func verifyRelay(job Job, nodes []Transport, tr *obs.Trace) (verify.Result, erro
 
 	stepReq := &Request{Kind: KindStep}
 	for depth := 0; frontier > 0; depth++ {
+		plan.fire(depth, era)
 		res.Depth = depth
 		levelStates := frontier
 		levelTrans := res.Transitions
@@ -292,6 +355,16 @@ func Runner(nodes []Transport) func([]*switching.Profile, verify.Config) (verify
 // verification). desc is a banner line describing the cluster. The caller
 // owns the transports (defer Close).
 func Cluster(nodes int, connect string) (ts []Transport, desc string, err error) {
+	return ClusterRetry(nodes, connect, 1, 0, nil)
+}
+
+// ClusterRetry is Cluster with a bounded startup retry on the -connect
+// dial: each worker address is attempted up to attempts times with
+// exponential backoff starting at backoff (see DialRetry), so a fleet can
+// come up in any order. logf, when non-nil, receives one line per failed
+// attempt. attempts ≤ 1 dials once; loopback clusters never retry (there
+// is nothing to wait for).
+func ClusterRetry(nodes int, connect string, attempts int, backoff time.Duration, logf func(format string, args ...any)) (ts []Transport, desc string, err error) {
 	switch {
 	case nodes < 0:
 		return nil, "", fmt.Errorf("-nodes must be ≥ 0, got %d", nodes)
@@ -302,7 +375,7 @@ func Cluster(nodes int, connect string) (ts []Transport, desc string, err error)
 		for i := range addrs {
 			addrs[i] = strings.TrimSpace(addrs[i])
 		}
-		ts, err := Dial(addrs, 0)
+		ts, err := DialRetry(addrs, 0, attempts, backoff, logf)
 		if err != nil {
 			return nil, "", err
 		}
@@ -342,10 +415,10 @@ func fanout(nodes []Transport, req func(i int) *Request) ([]*Response, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("dverify: node %d: %w", i, err)
+			return nil, &nodeError{i, err}
 		}
 		if resps[i].Err != "" {
-			return nil, fmt.Errorf("dverify: node %d: %s", i, resps[i].Err)
+			return nil, &nodeError{i, errors.New(resps[i].Err)}
 		}
 	}
 	return resps, nil

@@ -22,7 +22,8 @@ func Loopback(n int) []Transport {
 		lt := &loopTransport{
 			group: g,
 			req:   make(chan *Request),
-			resp:  make(chan *Response),
+			resp:  make(chan *Response, 1),
+			kill:  make(chan struct{}),
 		}
 		go lt.serve()
 		ts[i] = lt
@@ -76,19 +77,27 @@ func (g *loopGroup) join(job *Job, inbox *meshInbox) (*loopSession, error) {
 		return nil, fmt.Errorf("dverify: session %#x sized for %d nodes, node %d expects %d",
 			job.Session, len(s.inboxes), job.NodeID, job.NumNodes)
 	}
-	if s.inboxes[job.NodeID] != nil {
+	if s.inboxes[job.NodeID] != nil && job.Era == 0 {
 		return nil, fmt.Errorf("dverify: node %d already registered in session %#x", job.NodeID, job.Session)
 	}
+	// Era > 0 is a takeover Init: a replacement worker adopts a dead
+	// node's slot. The dead worker's registration (if its teardown has not
+	// run yet) is displaced — leave is identity-checked, so the late
+	// teardown cannot unregister the replacement.
 	s.inboxes[job.NodeID] = inbox
 	s.refs++
 	return s, nil
 }
 
 // leave drops a node's registration, deleting the session with the last.
-func (s *loopSession) leave(id int) {
+// The inbox identity check keeps a dead worker's late teardown from
+// unregistering the replacement that displaced it.
+func (s *loopSession) leave(id int, inbox *meshInbox) {
 	s.g.mu.Lock()
 	defer s.g.mu.Unlock()
-	s.inboxes[id] = nil
+	if s.inboxes[id] == inbox {
+		s.inboxes[id] = nil
+	}
 	if s.refs--; s.refs == 0 {
 		delete(s.g.sessions, s.id)
 	}
@@ -110,7 +119,7 @@ type loopLink struct {
 	words    int
 }
 
-func (l *loopLink) send(level int, states []verify.PackedState) (int, error) {
+func (l *loopLink) send(era, level int, states []verify.PackedState) (int, error) {
 	if hook := l.sess.failSend; hook != nil {
 		if err := hook(l.from, l.to); err != nil {
 			return 0, err
@@ -120,7 +129,7 @@ func (l *loopLink) send(level int, states []verify.PackedState) (int, error) {
 	if ib == nil {
 		return 0, fmt.Errorf("peer node %d is not registered in this session", l.to)
 	}
-	b := meshBatch{from: l.from, level: level, states: states}
+	b := meshBatch{from: l.from, level: level, era: era, states: states}
 	bytes := 8 * l.words * len(states)
 	if hook := l.sess.deliver; hook != nil && hook(l.from, l.to, b, ib.push) {
 		return bytes, nil
@@ -154,26 +163,42 @@ func (e loopEnv) connect(job *Job, inbox *meshInbox, exp *verify.Expander) ([]me
 		}
 	}
 	id := job.NodeID
-	return links, func() { sess.leave(id) }, nil
+	return links, func() { sess.leave(id, inbox) }, nil
 }
 
 // loopTransport is one coordinator↔goroutine link. Call and Close must not
 // race each other (the coordinator is strictly sequential per transport).
+// kill is the fault-injection guillotine: closing it makes every Call
+// fail immediately and stops the serve loop after its in-flight request —
+// the in-process analogue of SIGKILLing a verifyd (the worker's teardown
+// still runs, standing in for the OS reclaiming a dead process's
+// sockets; its checkpoint segments stay on disk either way).
 type loopTransport struct {
-	group  *loopGroup
-	req    chan *Request
-	resp   chan *Response
-	closed bool
+	group    *loopGroup
+	req      chan *Request
+	resp     chan *Response // buffered: an abandoned call must not wedge serve
+	kill     chan struct{}
+	killOnce sync.Once
+	closed   bool
 }
 
 // serve is the worker goroutine: one handler per transport lifetime,
-// serving requests until Close shuts the request channel. Any live mesh
-// worker is torn down on exit so its session registration never leaks.
+// serving requests until Close shuts the request channel or a fault
+// kills the worker. Any live mesh worker is torn down on exit so its
+// session registration never leaks.
 func (lt *loopTransport) serve() {
 	h := handler{env: loopEnv{lt.group}}
 	defer h.reset()
-	for req := range lt.req {
-		lt.resp <- h.handle(req)
+	for {
+		select {
+		case req, ok := <-lt.req:
+			if !ok {
+				return
+			}
+			lt.resp <- h.handle(req)
+		case <-lt.kill:
+			return
+		}
 	}
 }
 
@@ -181,8 +206,23 @@ func (lt *loopTransport) Call(req *Request) (*Response, error) {
 	if lt.closed {
 		return nil, errors.New("loopback transport is closed")
 	}
-	lt.req <- req
-	return <-lt.resp, nil
+	select {
+	case lt.req <- req:
+	case <-lt.kill:
+		return nil, errors.New("loopback worker was killed")
+	}
+	select {
+	case resp := <-lt.resp:
+		return resp, nil
+	case <-lt.kill:
+		return nil, errors.New("loopback worker was killed")
+	}
+}
+
+// die kills the worker goroutine (idempotent); used by the
+// fault-injection harness.
+func (lt *loopTransport) die() {
+	lt.killOnce.Do(func() { close(lt.kill) })
 }
 
 func (lt *loopTransport) Close() error {

@@ -3,7 +3,9 @@ package dverify
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,10 +71,15 @@ const (
 )
 
 // meshBatch is one level-tagged batch of decoded states crossing a mesh
-// link, or a link failure surfaced into the owner's inbox.
+// link, or a link failure surfaced into the owner's inbox. era tags the
+// sender's recovery era (always 0 outside fault-tolerant runs): a
+// receiver in a newer era drops the batch — the rollback already erased
+// its accounting on both ends — and one in an older era parks it until
+// its own recovery order arrives.
 type meshBatch struct {
 	from   int
 	level  int
+	era    int
 	states []verify.PackedState
 	err    error
 }
@@ -135,7 +142,7 @@ func putBatch(b []verify.PackedState) {
 // receiver-side dedup it saves when no real wire is crossed, so loopback
 // links decline it and TCP links (where every state costs bytes) take it.
 type meshLink interface {
-	send(level int, states []verify.PackedState) (int, error)
+	send(era, level int, states []verify.PackedState) (int, error)
 	wantFilter() bool
 	close() error
 }
@@ -217,6 +224,25 @@ type meshWorker struct {
 	boundLevel int
 	boundState verify.PackedState
 
+	// Fault tolerance (ft.go). owners is the routing table (default
+	// contiguous, rewritten by Recover); era is the worker's recovery
+	// epoch; ckptLevel the highest level fully persisted as checkpoint
+	// segments (-1 = none); ftTrans attributes transitions per
+	// (level, shard) so segments carry exact counts; deadPeers suppresses
+	// sends to nodes known dead; linkDown is the cumulative dead-peer
+	// report for the coordinator; futureQ parks batches from peers already
+	// in a newer era until this worker's own recovery order arrives.
+	ft        bool
+	ckptOn    bool
+	ckptDir   string // per-session segment directory
+	owners    [numShards]uint8
+	era       int
+	ckptLevel int
+	ftTrans   [][numShards]int64
+	deadPeers []bool
+	linkDown  []int
+	futureQ   []meshBatch
+
 	finished bool
 	waitT    *time.Timer
 	lastSnap meshDigest
@@ -249,6 +275,7 @@ type meshLane struct {
 	defr []verify.PackedState   // self-owned successors awaiting the commit rule
 
 	trans     int
+	ftt       [numShards]int64 // per-shard transitions of this chunk (checkpointing only)
 	haveViol  bool
 	violState verify.PackedState
 	violApp   int
@@ -328,7 +355,9 @@ func newMeshWorker(job *Job, env meshEnv, prev *meshWorker) (*meshWorker, *Respo
 		linkBytes:  make([]int, job.NumNodes),
 		outLevel:   -1,
 		violApp:    -1,
+		ckptLevel:  -1,
 	}
+	w.applyFT(job)
 	if workers > 1 {
 		// The lane pool shares the visited partition, so it must be the
 		// striped set; the serial worker keeps the cheaper unsharded one.
@@ -360,14 +389,51 @@ func newMeshWorker(job *Job, env meshEnv, prev *meshWorker) (*meshWorker, *Respo
 		}
 	}
 	resp := &Response{Proto: protoVersion, ViolApp: -1}
-	if init := exp.Initial(); owner(exp.Hash(init), w.n) == w.id {
+	if err := w.seedOrRestore(job, resp); err != nil {
+		w.shutdown()
+		return nil, nil, err
+	}
+	return w, resp, nil
+}
+
+// applyFT fixes the job's fault-tolerance knobs into the worker: the
+// routing table, the era and the checkpoint location. Called from both
+// build paths before any state is seeded.
+func (w *meshWorker) applyFT(job *Job) {
+	w.ft = job.FT
+	w.owners = ownerTable(job.Owners, job.NumNodes)
+	w.era = job.Era
+	w.ckptOn = job.FT && job.CheckpointDir != ""
+	if w.ckptOn {
+		w.ckptDir = ckptSessionDir(job.CheckpointDir, job.Session)
+	} else {
+		w.ckptDir = ""
+	}
+	if job.FT && w.deadPeers == nil {
+		w.deadPeers = make([]bool, job.NumNodes)
+	}
+}
+
+// seedOrRestore starts the worker's search state: a fresh run (Era 0)
+// seeds the initial state on its owner; a replacement worker joining a
+// recovered run (Era > 0) restores its owned shards from checkpoint
+// segments instead.
+func (w *meshWorker) seedOrRestore(job *Job, resp *Response) error {
+	if job.FT && job.Era > 0 {
+		if err := w.restore(job.Cut); err != nil {
+			return err
+		}
+		resp.Fresh, resp.Next = w.fresh, 0
+		return nil
+	}
+	if init := w.exp.Initial(); int(w.owners[w.exp.Hash(init)>>58]) == w.id {
 		w.ensureLevel(0)
 		w.visited.Add(init)
 		w.buckets[0] = append(w.buckets[0], init)
 		w.freshAt[0] = 1
 		w.fresh, resp.Fresh, resp.Next = 1, 1, 1
 	}
-	return w, resp, nil
+	return nil
 }
 
 // reinit rebuilds the worker in place for a compatible follow-up job: the
@@ -441,6 +507,19 @@ func (w *meshWorker) reinit(job *Job, env meshEnv) (*meshWorker, *Response, erro
 	w.final = 0
 	w.finished = false
 	w.lastSnap, w.haveSnap = meshDigest{}, false
+	w.ftTrans = w.ftTrans[:0]
+	w.ckptLevel = -1
+	if w.deadPeers != nil {
+		clear(w.deadPeers)
+	}
+	w.linkDown = w.linkDown[:0]
+	for _, b := range w.futureQ {
+		if b.err == nil {
+			w.putBatch(b.states)
+		}
+	}
+	w.futureQ = w.futureQ[:0]
+	w.applyFT(job)
 
 	links, cleanup, err := env.connect(job, w.inbox, w.exp)
 	if err != nil {
@@ -459,12 +538,9 @@ func (w *meshWorker) reinit(job *Job, env meshEnv) (*meshWorker, *Response, erro
 	}
 	resp := &w.initResp
 	*resp = Response{Proto: protoVersion, ViolApp: -1}
-	if init := w.exp.Initial(); owner(w.exp.Hash(init), w.n) == w.id {
-		w.ensureLevel(0)
-		w.visited.Add(init)
-		w.buckets[0] = append(w.buckets[0], init)
-		w.freshAt[0] = 1
-		w.fresh, resp.Fresh, resp.Next = 1, 1, 1
+	if err := w.seedOrRestore(job, resp); err != nil {
+		w.shutdown()
+		return nil, nil, err
 	}
 	return w, resp, nil
 }
@@ -783,15 +859,32 @@ func (w *meshWorker) noteBound(level int, s verify.PackedState) {
 	}
 }
 
-// drainInbox absorbs everything queued on the node's mesh links.
+// drainInbox absorbs everything queued on the node's mesh links. A link
+// failure poisons a non-FT run; under fault tolerance it marks the peer
+// dead and is reported to the coordinator via the snapshot's LinkDown.
+// Era-tagged batches from a past era are dropped (the rollback erased
+// their accounting on both ends); batches from a future era are parked
+// until this worker's own recovery order arrives, so nothing a recovered
+// peer sent ahead of our rollback is ever lost.
 func (w *meshWorker) drainInbox() {
 	batches := w.inbox.drain(w.spareQ)
 	for i := range batches {
 		b := &batches[i]
 		if b.err != nil {
-			if w.err == nil {
+			if w.ft {
+				w.noteLinkDown(b.from)
+			} else if w.err == nil {
 				w.err = b.err
 			}
+			continue
+		}
+		if b.era != w.era {
+			if b.era > w.era {
+				w.futureQ = append(w.futureQ, *b)
+			} else {
+				w.putBatch(b.states)
+			}
+			b.states = nil
 			continue
 		}
 		w.ensureLevel(b.level)
@@ -800,6 +893,21 @@ func (w *meshWorker) drainInbox() {
 		b.states = nil
 	}
 	w.spareQ = batches[:0]
+}
+
+// noteLinkDown records a dead peer: no further sends are attempted and
+// the coordinator learns via the next snapshot's LinkDown report.
+func (w *meshWorker) noteLinkDown(peer int) {
+	if peer < 0 || peer >= w.n {
+		return
+	}
+	if w.deadPeers == nil {
+		w.deadPeers = make([]bool, w.n)
+	}
+	if !w.deadPeers[peer] {
+		w.deadPeers[peer] = true
+		w.linkDown = append(w.linkDown, peer)
+	}
 }
 
 // expandable returns the lowest level with unexpanded committed work,
@@ -847,8 +955,12 @@ func (w *meshWorker) expandChunk(n int) bool {
 		w.expandSerial(l, n)
 	}
 	if w.cursors[l] == len(w.buckets[l]) && len(w.buckets[l]) > 0 && l <= w.final {
-		// The bucket is drained and — level final — can never refill.
-		w.recycleBucket(l)
+		// The bucket is drained and — level final — can never refill. With
+		// checkpointing on, the bucket is the segment payload: keep it until
+		// the sweep has persisted the level (maybeCheckpoint recycles it).
+		if !w.ckptOn || l <= w.ckptLevel {
+			w.recycleBucket(l)
+		}
 	}
 	return true
 }
@@ -873,11 +985,14 @@ func (w *meshWorker) expandSerial(l, n int) {
 			continue
 		}
 		w.transitions += len(succ)
+		if w.ckptOn {
+			w.ftTransAdd(l, w.exp.Hash(s), len(succ))
+		}
 		if w.haveBound && l+1 > w.boundLevel {
 			continue // successors beyond the verdict level
 		}
 		for _, ns := range succ {
-			if dst := owner(ns.H, w.n); dst != w.id {
+			if dst := int(w.owners[ns.H>>58]); dst != w.id {
 				if w.filters[dst].slots != nil && w.filters[dst].seen(ns.S, ns.H) {
 					w.filtered++
 				} else {
@@ -946,6 +1061,9 @@ func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
 	defer wg.Done()
 	ln.trans, ln.haveViol = 0, false
 	ln.next = ln.next[:0]
+	if w.ckptOn {
+		clear(ln.ftt[:])
+	}
 	budget := int64(w.budget)
 	for {
 		lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
@@ -976,11 +1094,14 @@ func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
 				continue
 			}
 			ln.trans += len(succ)
+			if w.ckptOn {
+				ln.ftt[w.exp.Hash(s)>>58] += int64(len(succ))
+			}
 			if dropSucc {
 				continue // successors beyond the verdict level
 			}
 			for _, ns := range succ {
-				if dst := owner(ns.H, w.n); dst != w.id {
+				if dst := int(w.owners[ns.H>>58]); dst != w.id {
 					ln.out[dst] = append(ln.out[dst], ns)
 				} else if !commitOK {
 					ln.defr = append(ln.defr, ns.S)
@@ -1008,6 +1129,9 @@ func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
 	w.ensureLevel(level)
 	for _, ln := range w.lanes {
 		w.transitions += ln.trans
+		if w.ckptOn && ln.trans > 0 {
+			w.ftTransMerge(l, &ln.ftt)
+		}
 		if ln.haveViol {
 			w.noteViol(l, ln.violState, ln.violApp)
 		}
@@ -1058,24 +1182,38 @@ func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
 }
 
 // flushDest ships one destination's buffered successors as a level-tagged
-// batch, updating the epoch and wire accounting.
+// batch, updating the epoch and wire accounting. Under fault tolerance a
+// failed (or known-dead) destination drops the batch and marks the link
+// down instead of poisoning the run: the coordinator's recovery rolls
+// every counter back past the loss, so an uncounted drop can never skew
+// the sent/recv sums that drive termination.
 func (w *meshWorker) flushDest(d int) {
 	states := w.outBuf[d]
 	if len(states) == 0 {
 		return
 	}
 	w.outBuf[d] = w.getBatch()
+	if w.ft && w.deadPeers[d] {
+		w.putBatch(states)
+		return
+	}
 	n, level := len(states), w.outLevel
 	w.ensureLevel(level)
+	bytes, err := w.links[d].send(w.era, level, states)
+	if err != nil {
+		if w.ft {
+			w.noteLinkDown(d)
+			return
+		}
+		if w.err == nil {
+			w.err = fmt.Errorf("mesh link to node %d: %v", d, err)
+		}
+	}
 	w.sentByLevel[level] += n
 	w.routed += n
 	w.linkStates[d] += n
-	bytes, err := w.links[d].send(level, states)
 	w.wireBytes += bytes
 	w.linkBytes[d] += bytes
-	if err != nil && w.err == nil {
-		w.err = fmt.Errorf("mesh link to node %d: %v", d, err)
-	}
 }
 
 // flushOut ships every buffered destination batch.
@@ -1107,7 +1245,7 @@ func (w *meshWorker) drained() int {
 
 // idle reports quiescence under the node's current milestone knowledge.
 func (w *meshWorker) idle() bool {
-	if w.expandable() >= 0 {
+	if w.expandable() >= 0 || len(w.futureQ) > 0 {
 		return false
 	}
 	for d, b := range w.outBuf {
@@ -1170,6 +1308,9 @@ func (w *meshWorker) snapshot() *Response {
 		WireBytes:    w.wireBytes,
 		TooLarge:     w.tooLarge,
 		ViolApp:      -1,
+		Era:          w.era,
+		Ckpt:         w.ckptLevel,
+		LinkDown:     append(resp.LinkDown[:0], w.linkDown...),
 	}
 	if w.err != nil {
 		resp.Err = w.err.Error()
@@ -1194,8 +1335,12 @@ func (w *meshWorker) snapshot() *Response {
 // is news (or the poll budget runs out), and answer with a snapshot.
 func (w *meshWorker) poll(ctl *Control) *Response {
 	if ctl != nil {
+		if ctl.Recover != nil && w.ft && ctl.Recover.Era > w.era {
+			w.recoverTo(ctl.Recover)
+		}
 		if ctl.Finish {
 			w.shutdown()
+			w.removeCkpt()
 			return w.snapshot()
 		}
 		w.setFinal(ctl.Final)
@@ -1231,6 +1376,7 @@ func (w *meshWorker) poll(ctl *Control) *Response {
 			break
 		}
 	}
+	w.maybeCheckpoint()
 	return w.snapshot()
 }
 
@@ -1296,6 +1442,7 @@ type meshTracker struct {
 	sent, recv  []int
 	drained     []int
 	idle        []bool
+	gone        []bool // evicted nodes: excluded from every milestone
 	maxLevel    int
 	maxFresh    int
 	fresh       int
@@ -1313,13 +1460,18 @@ func newMeshTracker(n int) *meshTracker {
 }
 
 // observe folds one full poll round into the tracker. Counters are
-// cumulative, so the round replaces (never accumulates) totals.
+// cumulative, so the round replaces (never accumulates) totals. Nil
+// responses (evicted nodes on a fault-tolerant run) are skipped — their
+// shards' counters live in the survivors after the rollback.
 func (t *meshTracker) observe(resps []*Response) {
 	t.sent = t.sent[:0]
 	t.recv = t.recv[:0]
 	t.fresh, t.transitions, t.maxFresh = 0, 0, 0
 	t.wire = verify.WireStats{Links: t.wire.Links[:0]}
 	for i, r := range resps {
+		if r == nil {
+			continue
+		}
 		t.drained[i] = r.Drained
 		t.idle[i] = r.Idle
 		t.fresh += r.Fresh
@@ -1375,7 +1527,10 @@ func (t *meshTracker) sumAt(counts []int, l int) int {
 func (t *meshTracker) advance() {
 	for {
 		d := t.final
-		for _, w := range t.drained {
+		for i, w := range t.drained {
+			if t.gone != nil && t.gone[i] {
+				continue
+			}
 			if w < d {
 				d = w
 			}
@@ -1393,6 +1548,25 @@ func (t *meshTracker) advance() {
 	}
 }
 
+// rebase rewinds the tracker to a recovery cut: levels through the cut
+// were restored from checkpoints (final membership), the cut level is
+// the new frontier awaiting re-expansion. Cumulative totals and per-level
+// sums are replaced wholesale by the next observe round — the workers'
+// reset zeroed the counters these sums mirror — and the sticky budget
+// flag is cleared because restore re-derives it from the restored
+// membership. Violation knowledge survives: a found violation is a
+// property of the state space, and the workers keep theirs too.
+func (t *meshTracker) rebase(cut int) {
+	t.final = cut
+	if t.final < 0 {
+		t.final = 0
+	}
+	t.done = -1
+	t.sent, t.recv = t.sent[:0], t.recv[:0]
+	t.maxLevel = 0
+	t.tooLarge = false
+}
+
 // terminated reports whether the verdict is final: a violation whose
 // level is fully expanded, or cluster-wide quiescence with every level's
 // sent/recv sums matching (no state in flight, nothing left to expand).
@@ -1400,7 +1574,10 @@ func (t *meshTracker) terminated() bool {
 	if t.haveViol && t.done >= t.violLevel {
 		return true
 	}
-	for _, ok := range t.idle {
+	for i, ok := range t.idle {
+		if t.gone != nil && t.gone[i] {
+			continue
+		}
 		if !ok {
 			return false
 		}
@@ -1435,6 +1612,9 @@ func foldMeshTrace(trace *obs.Trace, resps []*Response, epochs int) {
 		return
 	}
 	for i, r := range resps {
+		if r == nil {
+			continue // evicted node; its levels live in the survivors
+		}
 		for l, v := range r.FreshByLevel {
 			if v > 0 {
 				trace.AddLevel(l, v, 0)
@@ -1471,69 +1651,199 @@ func newSessionID() uint64 {
 // and result slices every epoch (those per-round allocations grew with
 // the node count). Rounds stay concurrent — workers long-poll inside
 // Call, so a sequential round would serialize the cluster.
+//
+// Fault-tolerant runs add liveness bookkeeping: every dispatched call
+// carries a sequence number, collectFT bounds its wait with
+// meshDeathTimeout, and an answer to a call the poller has given up on —
+// or one issued against a transport since replaced by adopt — is
+// discarded by sequence mismatch, so a slow reply from a declared-dead
+// worker can never be mistaken for a current one.
 type meshPoller struct {
-	reqs []chan *Request
-	done chan pollResult
-	errs []error
+	reqs     []chan pollReq
+	done     chan pollResult
+	errs     []error
+	alive    []bool
+	inflight []bool
+	seqs     []uint64
+	seq      uint64
+}
+
+type pollReq struct {
+	req *Request
+	seq uint64
 }
 
 type pollResult struct {
 	i    int
+	seq  uint64
 	resp *Response
 	err  error
 }
 
 func newMeshPoller(nodes []Transport) *meshPoller {
+	n := len(nodes)
 	p := &meshPoller{
-		reqs: make([]chan *Request, len(nodes)),
-		done: make(chan pollResult, len(nodes)),
-		errs: make([]error, len(nodes)),
+		reqs:     make([]chan pollReq, n),
+		done:     make(chan pollResult, 4*n),
+		errs:     make([]error, n),
+		alive:    make([]bool, n),
+		inflight: make([]bool, n),
+		seqs:     make([]uint64, n),
 	}
 	for i, tr := range nodes {
-		ch := make(chan *Request)
-		p.reqs[i] = ch
-		go func(i int, tr Transport, ch chan *Request) {
-			for req := range ch {
-				resp, err := tr.Call(req)
-				p.done <- pollResult{i, resp, err}
-			}
-		}(i, tr, ch)
+		p.alive[i] = true
+		p.reqs[i] = p.spawn(i, tr)
 	}
 	return p
 }
 
+func (p *meshPoller) spawn(i int, tr Transport) chan pollReq {
+	ch := make(chan pollReq)
+	go func() {
+		for pr := range ch {
+			resp, err := tr.Call(pr.req)
+			p.done <- pollResult{i: i, seq: pr.seq, resp: resp, err: err}
+		}
+	}()
+	return ch
+}
+
+func (p *meshPoller) send(i int, req *Request) {
+	p.seq++
+	p.seqs[i] = p.seq
+	p.inflight[i] = true
+	p.reqs[i] <- pollReq{req, p.seq}
+}
+
 // round sends one request to every node (the request is shared and must
 // not be mutated until the round completes) and collects the responses
-// into resps, mirroring fanout's error contract.
+// into resps, mirroring fanout's error contract. Non-fault-tolerant
+// rounds only — every node is alive and a failure poisons the run.
 func (p *meshPoller) round(resps []*Response, req *Request) error {
-	for _, ch := range p.reqs {
-		ch <- req
+	for i := range p.reqs {
+		p.send(i, req)
 	}
 	return p.collect(resps)
 }
 
 // roundFn is round with a per-node request — Init carries each node's ID.
 func (p *meshPoller) roundFn(resps []*Response, req func(i int) *Request) error {
-	for i, ch := range p.reqs {
-		ch <- req(i)
+	for i := range p.reqs {
+		p.send(i, req(i))
 	}
 	return p.collect(resps)
 }
 
 func (p *meshPoller) collect(resps []*Response) error {
-	for range p.reqs {
+	n := 0
+	for _, f := range p.inflight {
+		if f {
+			n++
+		}
+	}
+	for n > 0 {
 		r := <-p.done
+		if !p.inflight[r.i] || r.seq != p.seqs[r.i] {
+			continue // answer to an abandoned call
+		}
+		p.inflight[r.i] = false
+		n--
 		resps[r.i], p.errs[r.i] = r.resp, r.err
 	}
 	for i, err := range p.errs {
+		if !p.alive[i] {
+			continue
+		}
 		if err != nil {
-			return fmt.Errorf("dverify: node %d: %w", i, err)
+			return &nodeError{i, err}
 		}
 		if resps[i].Err != "" {
-			return fmt.Errorf("dverify: node %d: %s", i, resps[i].Err)
+			return &nodeError{i, errors.New(resps[i].Err)}
 		}
 	}
 	return nil
+}
+
+// roundFT is the fault-tolerant round: requests go to live nodes only,
+// the collect is bounded by meshDeathTimeout, and instead of failing the
+// run it returns the indices of nodes that died this round: transport
+// error, worker-reported Err, or timeout.
+func (p *meshPoller) roundFT(resps []*Response, reqf func(i int) *Request) []int {
+	for i := range p.reqs {
+		resps[i] = nil
+		if p.alive[i] {
+			p.send(i, reqf(i))
+		}
+	}
+	return p.collectFT(resps)
+}
+
+// roundSubset is roundFT over an explicit index set — recovery phases
+// address replacement Inits and survivor Recover polls separately.
+// Entries of resps outside idxs are left untouched.
+func (p *meshPoller) roundSubset(resps []*Response, idxs []int, reqf func(i int) *Request) []int {
+	for _, i := range idxs {
+		resps[i] = nil
+		if p.alive[i] {
+			p.send(i, reqf(i))
+		}
+	}
+	return p.collectFT(resps)
+}
+
+func (p *meshPoller) collectFT(resps []*Response) (dead []int) {
+	n := 0
+	for _, f := range p.inflight {
+		if f {
+			n++
+		}
+	}
+	timer := time.NewTimer(meshDeathTimeout)
+	defer timer.Stop()
+	for n > 0 {
+		select {
+		case r := <-p.done:
+			if !p.inflight[r.i] || r.seq != p.seqs[r.i] {
+				continue
+			}
+			p.inflight[r.i] = false
+			n--
+			if r.err != nil || r.resp.Err != "" {
+				dead = append(dead, r.i)
+				continue
+			}
+			resps[r.i] = r.resp
+		case <-timer.C:
+			// Unanswered workers are declared dead; their eventual answers
+			// are discarded by the sequence check. Workers answer every
+			// poll within meshPollBudget, so only a dead or wedged node
+			// ever trips this.
+			for i, f := range p.inflight {
+				if f {
+					p.inflight[i] = false
+					dead = append(dead, i)
+				}
+			}
+			return dead
+		}
+	}
+	return dead
+}
+
+// evict marks a node dead: it is skipped by every later round.
+func (p *meshPoller) evict(i int) {
+	p.alive[i] = false
+}
+
+// adopt replaces node i's transport with a late-joining spare: the old
+// call channel is closed (its goroutine exits after any in-flight call,
+// whose answer the sequence check discards) and a fresh goroutine
+// serves the replacement under the same node index.
+func (p *meshPoller) adopt(i int, tr Transport) {
+	close(p.reqs[i])
+	p.reqs[i] = p.spawn(i, tr)
+	p.alive[i] = true
+	p.inflight[i] = false
 }
 
 func (p *meshPoller) close() {
@@ -1542,16 +1852,247 @@ func (p *meshPoller) close() {
 	}
 }
 
+// meshFT is the coordinator's fault-tolerance state over one mesh run:
+// who last checkpointed and answered what, the current era and ownership
+// table, and the spare transports still available for adoption. deadWire
+// preserves evicted nodes' final wire totals — true traffic the rollback
+// cannot re-attribute (survivors keep only their own wire counters).
+type meshFT struct {
+	job        Job // Init template for adopting replacement workers
+	poller     *meshPoller
+	tr         *meshTracker
+	trace      *obs.Trace
+	lastCkpt   []int
+	lastSnap   []*Response
+	era        int
+	owners     []uint8
+	spares     []Transport
+	deadWire   verify.WireStats
+	recoveries int
+}
+
+func newMeshFT(job Job, poller *meshPoller, tr *meshTracker, trace *obs.Trace, spares []Transport) *meshFT {
+	n := job.NumNodes
+	ft := &meshFT{
+		job:      job,
+		poller:   poller,
+		tr:       tr,
+		trace:    trace,
+		lastCkpt: make([]int, n),
+		lastSnap: make([]*Response, n),
+		owners:   job.Owners,
+		spares:   spares,
+	}
+	for i := range ft.lastCkpt {
+		ft.lastCkpt[i] = -1
+	}
+	tr.gone = make([]bool, n)
+	return ft
+}
+
+// note records a healthy round's checkpoint watermarks and snapshots.
+// The snapshot pointers stay valid after a node dies: workers
+// double-buffer their responses, and a dead node is never polled again,
+// so the buffer a retained snapshot lives in is not rewritten.
+func (ft *meshFT) note(resps []*Response) {
+	for i, r := range resps {
+		if r != nil {
+			ft.lastCkpt[i] = r.Ckpt
+			ft.lastSnap[i] = r
+		}
+	}
+}
+
+// foldLinkDown turns worker-reported dead links into coordinator death
+// verdicts: a severed link is indistinguishable from (and treated as)
+// the death of its far end, so the run converges on a surviving
+// component instead of hanging on a partition.
+func (ft *meshFT) foldLinkDown(resps []*Response) (dead []int) {
+	for i, r := range resps {
+		if r == nil || !ft.poller.alive[i] {
+			continue
+		}
+		for _, j := range r.LinkDown {
+			if j >= 0 && j < len(ft.poller.alive) && ft.poller.alive[j] {
+				dead = append(dead, j)
+			}
+		}
+	}
+	return dead
+}
+
+// recover is the takeover loop. Each iteration evicts the newly dead,
+// adopts spares into the freed slots when available, reassigns orphaned
+// shards to the survivors, rolls the cluster back to the deepest cut
+// every relevant checkpoint supports, and issues the mixed recovery
+// round — Recover-tagged polls to survivors, restore-Inits to adoptions.
+// Deaths during that round feed the next iteration: the double-fault
+// case is just a second lap.
+func (ft *meshFT) recover(resps []*Response, dead []int) error {
+	p, t := ft.poller, ft.tr
+	adoptedNow := make([]bool, len(p.alive))
+	for len(dead) > 0 {
+		cut := 1 << 30
+		any := false
+		for _, d := range dead {
+			if !p.alive[d] {
+				continue // duplicate report
+			}
+			any = true
+			p.evict(d)
+			t.gone[d] = true
+			adoptedNow[d] = false
+			if s := ft.lastSnap[d]; s != nil {
+				ft.deadWire.Add(verify.WireStats{
+					RoutedStates:   s.Routed,
+					FilteredStates: s.Filtered,
+					RawBytes:       s.RawBytes,
+					WireBytes:      s.WireBytes,
+				})
+				// Folded once; a replacement adopted into this slot must
+				// not inherit (and re-fold) its predecessor's snapshot.
+				ft.lastSnap[d] = nil
+			}
+			// The cut can be no deeper than what the dead node persisted:
+			// its shards restore from its segments.
+			if ft.lastCkpt[d] < cut {
+				cut = ft.lastCkpt[d]
+			}
+		}
+		if !any {
+			return nil
+		}
+		// Adopt spares into freed slots in index order: a replacement
+		// inherits the dead node's ID and shard set, so slots we can
+		// refill need no reassignment.
+		for _, d := range dead {
+			if len(ft.spares) == 0 {
+				break
+			}
+			if !p.alive[d] {
+				p.adopt(d, ft.spares[0])
+				ft.spares = ft.spares[1:]
+				t.gone[d] = false
+				adoptedNow[d] = true
+			}
+		}
+		live := 0
+		for _, ok := range p.alive {
+			if ok {
+				live++
+			}
+		}
+		if live == 0 {
+			return errors.New("dverify: every worker dead and no spares left; run unrecoverable")
+		}
+		// Survivors can restore only what they persisted themselves.
+		for i, ok := range p.alive {
+			if ok && !adoptedNow[i] && ft.lastCkpt[i] < cut {
+				cut = ft.lastCkpt[i]
+			}
+		}
+		owners, moved := reassignOwners(ft.owners, p.alive)
+		ft.owners = owners
+		ft.era++
+		t.rebase(cut)
+		var deadSet []int
+		for i, ok := range p.alive {
+			if !ok {
+				deadSet = append(deadSet, i)
+			}
+		}
+		// Adoption Inits go first and must complete before any survivor
+		// receives its Recover order: a survivor's post-rollback expansion
+		// can route states to the replacement immediately, so the
+		// replacement's inbox has to be registered before the first
+		// survivor rolls back. A replacement dying (or reporting a stale
+		// protocol) during its Init feeds the next lap before the
+		// survivors ever saw this era.
+		var adoptIdx, survIdx []int
+		for i, ok := range p.alive {
+			switch {
+			case !ok:
+			case adoptedNow[i]:
+				adoptIdx = append(adoptIdx, i)
+			default:
+				survIdx = append(survIdx, i)
+			}
+		}
+		if len(adoptIdx) > 0 {
+			next := p.roundSubset(resps, adoptIdx, func(i int) *Request {
+				j := ft.job
+				j.NodeID = i
+				j.Owners = owners
+				j.Era = ft.era
+				j.Cut = cut
+				return &Request{Kind: KindInit, Job: &j}
+			})
+			for _, i := range adoptIdx {
+				if r := resps[i]; r != nil && p.alive[i] {
+					if r.Proto != protoVersion {
+						next = append(next, i) // stale replacement build: treat as dead
+						continue
+					}
+					ft.lastCkpt[i] = cut
+					ft.lastSnap[i] = r
+					adoptedNow[i] = false
+				}
+			}
+			if len(next) > 0 {
+				dead = next
+				continue
+			}
+		}
+		var recCtl Control
+		t.controlInto(&recCtl)
+		recCtl.Recover = &Recover{Era: ft.era, Owners: owners, Cut: cut, Dead: deadSet}
+		next := p.roundSubset(resps, survIdx, func(int) *Request {
+			return &Request{Kind: KindPoll, Ctl: &recCtl}
+		})
+		for _, i := range survIdx {
+			if r := resps[i]; r != nil && p.alive[i] {
+				ft.lastCkpt[i] = cut
+				ft.lastSnap[i] = r
+			}
+		}
+		next = append(next, ft.foldLinkDown(resps)...)
+		ft.recoveries++
+		obsRecoveries.Inc()
+		obsShardsReassigned.Add(uint64(moved))
+		ft.trace.AddFailover(ft.era, deadSet, cut, moved)
+		dead = next
+	}
+	return nil
+}
+
 // verifyMesh drives the mesh topology: Init wires the worker↔worker
 // links, then the coordinator runs the poll/epoch control plane until the
 // tracker proves termination, and a Finish round collects final counters.
 // trace (nil-safe) gains the per-level frontier sizes (from the workers'
 // FreshByLevel snapshots), one NodeSpan per worker and the epoch count.
-func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace) (verify.Result, error) {
+//
+// With job.FT set, the poll loop runs fault-tolerantly: deaths detected
+// by transport error, worker Err, timeout or peer LinkDown reports feed
+// meshFT.recover, and the run completes with the exact verdict as long
+// as at least one worker (or adopted spare) survives each takeover. The
+// Init round stays fail-fast — fault tolerance covers the run, not its
+// setup. plan (nil-safe) is the deterministic fault-injection harness;
+// its kills fire against tracker milestones before poll rounds.
+func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace, plan *faultPlan) (verify.Result, error) {
 	res := verify.Result{Schedulable: true, Bounded: job.MaxDisturbances > 0}
 	job.Mesh = true
 	job.Session = newSessionID()
 	job.Peers = peers
+	if job.FT {
+		job.Owners = defaultOwners(job.NumNodes)
+		if job.CheckpointDir != "" {
+			// Coordinator-side sweep of the session's segments: covers runs
+			// where no worker reached a clean Finish (shared-filesystem
+			// clusters; on remote workers this is a no-op locally and the
+			// daemons clean up on their next session).
+			defer os.RemoveAll(ckptSessionDir(job.CheckpointDir, job.Session))
+		}
+	}
 	poller := newMeshPoller(nodes)
 	defer poller.close()
 	resps := make([]*Response, len(nodes))
@@ -1570,11 +2111,30 @@ func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace) (v
 	}
 
 	tr := newMeshTracker(len(nodes))
+	var ft *meshFT
+	if job.FT {
+		var spares []Transport
+		if plan != nil {
+			spares = plan.spares
+		}
+		ft = newMeshFT(job, poller, tr, trace, spares)
+	}
 	var ctl Control
 	finish := func() ([]*Response, error) {
 		tr.controlInto(&ctl)
 		ctl.Finish = true
-		if err := poller.round(resps, &Request{Kind: KindPoll, Ctl: &ctl}); err != nil {
+		freq := &Request{Kind: KindPoll, Ctl: &ctl}
+		if ft != nil {
+			// The verdict is already determined (quiescence, or a settled
+			// violation), so a death during the finish round cannot change
+			// it: substitute the node's last snapshot — identical, by
+			// quiescence, to the answer it would have given.
+			for _, d := range poller.roundFT(resps, func(int) *Request { return freq }) {
+				resps[d] = ft.lastSnap[d]
+			}
+			return resps, nil
+		}
+		if err := poller.round(resps, freq); err != nil {
 			return nil, err
 		}
 		return resps, nil
@@ -1582,13 +2142,31 @@ func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace) (v
 	req := &Request{Kind: KindPoll, Ctl: &ctl}
 	epochs := 0
 	for {
-		tr.controlInto(&ctl)
-		if err := poller.round(resps, req); err != nil {
-			// The run is poisoned; surviving workers tear down when their
-			// session ends (transport Close / next Init).
-			return res, err
+		if ft != nil {
+			plan.fire(tr.final, ft.recoveries)
+		} else {
+			plan.fire(tr.final, 0)
 		}
-		epochs++
+		tr.controlInto(&ctl)
+		if ft != nil {
+			dead := poller.roundFT(resps, func(int) *Request { return req })
+			dead = append(dead, ft.foldLinkDown(resps)...)
+			epochs++
+			if len(dead) > 0 {
+				if err := ft.recover(resps, dead); err != nil {
+					return res, err
+				}
+				continue // tracker rebased; observe a fresh round first
+			}
+			ft.note(resps)
+		} else {
+			if err := poller.round(resps, req); err != nil {
+				// The run is poisoned; surviving workers tear down when their
+				// session ends (transport Close / next Init).
+				return res, err
+			}
+			epochs++
+		}
 		tr.observe(resps)
 		tr.advance()
 		if tr.tooLarge && !tr.haveViol {
@@ -1600,6 +2178,9 @@ func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace) (v
 			}
 			res.States, res.Transitions = tr.fresh, tr.transitions
 			res.Depth, res.Wire = tr.maxFresh, tr.wire
+			if ft != nil {
+				res.Wire.Add(ft.deadWire)
+			}
 			return res, verify.ErrTooLarge
 		}
 		if tr.terminated() || (tr.tooLarge && tr.haveViol) {
@@ -1616,6 +2197,9 @@ func verifyMesh(job Job, nodes []Transport, peers []string, trace *obs.Trace) (v
 			res.States = tr.fresh
 			res.Transitions = tr.transitions
 			res.Wire = tr.wire
+			if ft != nil {
+				res.Wire.Add(ft.deadWire)
+			}
 			if tr.haveViol {
 				res.Schedulable = false
 				res.Violator = tr.violApp

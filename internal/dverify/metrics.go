@@ -18,4 +18,11 @@ var (
 		"Foreign successors this worker routed onto its mesh links across completed sessions.")
 	obsFilteredStates = obs.NewCounter("tightcps_dverify_filtered_states_total",
 		"Foreign successors suppressed by the send filters across completed sessions.")
+	// Coordinator-side fault-tolerance counters: a coordinator embedded in
+	// an admission service (or CLI) exposes recoveries through the same
+	// registry its /metricsz serves.
+	obsRecoveries = obs.NewCounter("tightcps_dverify_recoveries_total",
+		"Worker-death recoveries completed by fault-tolerant distributed runs on this process.")
+	obsShardsReassigned = obs.NewCounter("tightcps_dverify_shards_reassigned_total",
+		"Hash shards moved to new owners across all recoveries on this process.")
 )

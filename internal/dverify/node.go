@@ -11,13 +11,15 @@ import (
 	"tightcps/internal/verify"
 )
 
-// owner maps a state hash to the node owning it: the 64 hash shards (top
-// six bits, the same selector as the local sharded sets) are divided into
-// contiguous ranges, one per node. Every state has exactly one owner, and
-// only the owner stores it — the partitioning invariant behind the
-// distributed visited set.
+// owner maps a state hash to the node owning it under the default
+// contiguous partitioning: the 64 hash shards (top six bits, the same
+// selector as the local sharded sets) are divided into contiguous ranges,
+// one per node. Every state has exactly one owner, and only the owner
+// stores it — the partitioning invariant behind the distributed visited
+// set. Fault-tolerant runs generalize this to an explicit ownership table
+// (Job.Owners, ft.go) whose default is exactly these ranges.
 func owner(h uint64, numNodes int) int {
-	return int(h>>58) * numNodes / 64
+	return int(h>>58) * numNodes / numShards
 }
 
 // filterBits sizes each per-destination recent-state filter: 1<<filterBits
@@ -108,7 +110,8 @@ func profilesEqual(a, b *switching.Profile) bool {
 // budget checks never take the striped set's locks.
 type node struct {
 	id, n     int
-	job       *Job // what the node was built for (reuse compatibility)
+	owners    [numShards]uint8 // shard → owning node (default contiguous)
+	job       *Job             // what the node was built for (reuse compatibility)
 	exp       *verify.Expander
 	budget    int
 	visited   *verify.StateSet
@@ -166,6 +169,7 @@ func newNode(job *Job, prev *node) (*node, *Response, error) {
 	nd := &node{
 		id:        job.NodeID,
 		n:         job.NumNodes,
+		owners:    ownerTable(job.Owners, job.NumNodes),
 		job:       job,
 		exp:       exp,
 		budget:    budget,
@@ -194,7 +198,7 @@ func newNode(job *Job, prev *node) (*node, *Response, error) {
 		}
 	}
 	resp := &Response{Proto: protoVersion, ViolApp: -1}
-	if init := exp.Initial(); owner(exp.Hash(init), nd.n) == nd.id {
+	if init := exp.Initial(); int(nd.owners[exp.Hash(init)>>58]) == nd.id {
 		nd.visited.Add(init)
 		nd.next = append(nd.next, init)
 		nd.stored = 1
@@ -210,6 +214,7 @@ func newNode(job *Job, prev *node) (*node, *Response, error) {
 // state is cleared.
 func (nd *node) reinit(job *Job) (*node, *Response, error) {
 	nd.job = job
+	nd.owners = ownerTable(job.Owners, job.NumNodes)
 	nd.budget = job.MaxStates
 	if nd.budget <= 0 {
 		nd.budget = defaultMaxStates
@@ -230,7 +235,7 @@ func (nd *node) reinit(job *Job) (*node, *Response, error) {
 	nd.stored, nd.tooLarge = 0, false
 	resp := &nd.initResp
 	*resp = Response{Proto: protoVersion, ViolApp: -1}
-	if init := nd.exp.Initial(); owner(nd.exp.Hash(init), nd.n) == nd.id {
+	if init := nd.exp.Initial(); int(nd.owners[nd.exp.Hash(init)>>58]) == nd.id {
 		nd.visited.Add(init)
 		nd.next = append(nd.next, init)
 		nd.stored = 1
@@ -287,7 +292,7 @@ func (nd *node) stepSerial(resp *Response) {
 		}
 		resp.Transitions += len(succ)
 		for _, ns := range succ {
-			if dst := owner(ns.H, nd.n); dst != nd.id {
+			if dst := int(nd.owners[ns.H>>58]); dst != nd.id {
 				if nd.filters[dst].seen(ns.S, ns.H) {
 					resp.Filtered++
 				} else {
@@ -360,7 +365,7 @@ func (nd *node) stepParallel(resp *Response) {
 					}
 					ln.trans += len(succ)
 					for _, ns := range succ {
-						if dst := owner(ns.H, nd.n); dst != nd.id {
+						if dst := int(nd.owners[ns.H>>58]); dst != nd.id {
 							ln.out[dst] = append(ln.out[dst], ns)
 						} else if nd.visited.AddHashed(ns.S, ns.H) {
 							if storedTotal.Add(1) > budget {

@@ -24,14 +24,18 @@ import (
 // verifyd daemon), corrupting the search with no error. KindInit therefore
 // carries the coordinator's version in Job.Proto and the node echoes its
 // own in Response.Proto, so either side rejects a mismatch loudly before
-// any frontier is exchanged. Version 5 is the PR-8 protocol (telemetry:
-// Job carries the run ID, mesh snapshots carry per-level fresh-commit
-// counts); version 4 is the PR-6 protocol (per-node expansion worker
-// pools: Job carries Workers); version 3 is the PR-5 protocol
-// (worker↔worker mesh links, pipelined levels, poll/epoch control plane);
-// version 2 is the PR-4 relay protocol (per-source absorb batch lists,
-// codec-framed); PR-3 binaries predate the field and present as version 0.
-const protoVersion = 5
+// any frontier is exchanged. Version 6 is the PR-9 fault-tolerance
+// protocol (explicit shard-ownership tables, era-tagged mesh frames,
+// checkpoint/recovery control: Job carries Owners/Era/Cut, KindPoll can
+// carry a Recover order, snapshots report checkpoint progress and dead
+// links); version 5 is the PR-8 protocol (telemetry: Job carries the run
+// ID, mesh snapshots carry per-level fresh-commit counts); version 4 is
+// the PR-6 protocol (per-node expansion worker pools: Job carries
+// Workers); version 3 is the PR-5 protocol (worker↔worker mesh links,
+// pipelined levels, poll/epoch control plane); version 2 is the PR-4
+// relay protocol (per-source absorb batch lists, codec-framed); PR-3
+// binaries predate the field and present as version 0.
+const protoVersion = 6
 
 // Kind discriminates coordinator requests.
 type Kind uint8
@@ -68,10 +72,15 @@ type Job struct {
 	// Profiles is the application set under verification, by value so the
 	// gob stream is self-contained.
 	Profiles []switching.Profile
-	// NumNodes and NodeID place this node in the cluster: it owns the
-	// contiguous shard range [NodeID·64/NumNodes, (NodeID+1)·64/NumNodes).
+	// NumNodes and NodeID place this node in the cluster. Shard ownership
+	// follows Owners when present; otherwise the node owns the default
+	// contiguous range [NodeID·64/NumNodes, (NodeID+1)·64/NumNodes).
 	NumNodes int
 	NodeID   int
+	// Owners, when non-nil, is the explicit shard-ownership table: entry s
+	// names the node owning hash shard s (len 64). The coordinator rewrites
+	// it on recovery so survivors take over a dead node's shards.
+	Owners []uint8
 
 	MaxDisturbances   int
 	Policy            sched.PreemptionPolicy
@@ -101,6 +110,21 @@ type Job struct {
 	// indexed by node ID (nil for in-process loopback meshes, where links
 	// are channels). Node i dials Peers[j] for every j ≠ i.
 	Peers []string
+
+	// FT enables fault tolerance: the worker checkpoints completed levels
+	// (when CheckpointDir is set), tags mesh batches with its era, and
+	// reports link failures instead of poisoning the run.
+	FT bool
+	// CheckpointDir is where the worker persists per-(shard,level)
+	// checkpoint segments; empty disables checkpointing (recovery then
+	// degrades to a full restart on the survivors).
+	CheckpointDir string
+	// Era and Cut accompany a recovery KindInit to a late-joining
+	// replacement worker: Era > 0 means "join the run in progress" — the
+	// worker restores its owned shards from checkpoint segments up to
+	// level Cut instead of seeding the initial state.
+	Era int
+	Cut int
 }
 
 // Request is one coordinator→node message.
@@ -138,6 +162,30 @@ type Control struct {
 	// Finish ends the session's search: the worker tears down its mesh
 	// links and answers with its final counter snapshot.
 	Finish bool
+	// Recover, when non-nil, orders the worker into a new era: roll back
+	// to the recovery cut, adopt the new ownership table, restore owned
+	// shards from checkpoint segments, and resume. Delivered on the first
+	// KindPoll after the coordinator declares a worker dead.
+	Recover *Recover
+}
+
+// Recover is the coordinator's takeover order after worker deaths. Every
+// surviving worker performs the same global rollback: reset volatile
+// search state, restore all shards it owns under Owners from checkpoint
+// segments at levels ≤ Cut, and re-expand from level Cut. Cut < 0 means
+// no usable checkpoint exists and the run restarts from the initial
+// state.
+type Recover struct {
+	// Era is the new epoch of the run; batches tagged with older eras are
+	// dropped on receipt.
+	Era int
+	// Owners is the new shard-ownership table (len 64).
+	Owners []uint8
+	// Cut is the highest checkpointed level consistent across the cluster.
+	Cut int
+	// Dead lists the node IDs declared dead this recovery (informational;
+	// workers use Owners for routing).
+	Dead []int
 }
 
 // PeerHello identifies a dialed worker↔worker mesh link.
@@ -149,8 +197,11 @@ type PeerHello struct {
 
 // Frame is one level-tagged frontier batch on a TCP mesh link, following
 // the PeerHello on the same gob stream. Batch is frontierCodec-encoded.
+// Era tags the sender's recovery era (0 before any recovery); receivers
+// in a newer era drop the frame.
 type Frame struct {
 	Level int
+	Era   int
 	Batch []byte
 }
 
@@ -234,6 +285,17 @@ type Response struct {
 	FreshByLevel []int
 	// Links are this node's cumulative per-destination wire counters.
 	Links []verify.LinkWire
+
+	// Era echoes the worker's current recovery era so the coordinator can
+	// tell pre- and post-recovery snapshots apart.
+	Era int
+	// Ckpt is the highest level fully persisted to checkpoint segments
+	// (-1 when nothing is checkpointed or checkpointing is disabled).
+	Ckpt int
+	// LinkDown lists peer node IDs this worker can no longer reach (send
+	// or receive failures on the mesh link). Cumulative; under FT a dead
+	// link is reported here instead of poisoning the run via Err.
+	LinkDown []int
 }
 
 // Frontier batch codec. Every batch opens with a version byte naming the

@@ -25,15 +25,45 @@ import (
 // one transport per address in order. On any failure the already-opened
 // connections are closed.
 func Dial(addrs []string, timeout time.Duration) ([]Transport, error) {
+	return DialRetry(addrs, timeout, 1, 0, nil)
+}
+
+// DialRetry is Dial with a bounded startup-retry schedule per address:
+// attempts tries each, sleeping backoff, 2·backoff, 4·backoff, … between
+// them (capped at 10s per wait). It rides out workers that are still
+// booting — a fleet brought up by an orchestrator rarely wins the race
+// against its coordinator — without masking a dead address forever. logf
+// (nil-safe) receives one line per failed attempt with the remaining
+// schedule, so a stuck boot names the address it is waiting on.
+func DialRetry(addrs []string, timeout time.Duration, attempts int, backoff time.Duration, logf func(format string, args ...any)) ([]Transport, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	ts := make([]Transport, 0, len(addrs))
 	for _, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, timeout)
-		if err != nil {
-			Close(ts)
-			return nil, fmt.Errorf("dverify: dialing worker %s: %w", addr, err)
+		var conn net.Conn
+		var err error
+		wait := backoff
+		for try := 1; ; try++ {
+			conn, err = net.DialTimeout("tcp", addr, timeout)
+			if err == nil {
+				break
+			}
+			if try >= attempts {
+				Close(ts)
+				return nil, fmt.Errorf("dverify: dialing worker %s (%d attempts): %w", addr, attempts, err)
+			}
+			logf("worker %s unreachable (attempt %d/%d, retrying in %v): %v", addr, try, attempts, wait, err)
+			time.Sleep(wait)
+			if wait *= 2; wait > 10*time.Second {
+				wait = 10 * time.Second
+			}
 		}
 		ts = append(ts, &tcpTransport{
 			addr: addr,
@@ -143,10 +173,10 @@ type tcpMeshLink struct {
 	buf   []byte
 }
 
-func (l *tcpMeshLink) send(level int, states []verify.PackedState) (int, error) {
+func (l *tcpMeshLink) send(era, level int, states []verify.PackedState) (int, error) {
 	l.buf = l.codec.encode(states, l.buf[:0])
 	putBatch(states)
-	if err := l.enc.Encode(Frame{Level: level, Batch: l.buf}); err != nil {
+	if err := l.enc.Encode(Frame{Level: level, Era: era, Batch: l.buf}); err != nil {
 		return 0, err
 	}
 	return len(l.buf), nil
@@ -391,7 +421,7 @@ func (s *Server) servePeer(conn net.Conn, dec *gob.Decoder, hello *PeerHello) {
 			n.inbox.push(meshBatch{from: hello.From, err: fmt.Errorf("mesh link from node %d: %v", hello.From, err)})
 			return
 		}
-		n.inbox.push(meshBatch{from: hello.From, level: f.Level, states: states})
+		n.inbox.push(meshBatch{from: hello.From, level: f.Level, era: f.Era, states: states})
 	}
 }
 

@@ -412,27 +412,34 @@ func (c *Cache) saveShardFile(dir string, shard int) error {
 
 // LoadDir merges every shard file present in dir into the cache,
 // returning how many files were read. A missing directory (or one with no
-// shard files) is the cold-start case and reports 0 without error; a
-// corrupt or config-mismatched shard aborts the load with the offending
-// shard named. Entries loaded from dir are clean — they are already on
-// disk in this layout — so a following SaveDir does not rewrite them.
+// shard files) is the cold-start case and reports 0 without error. A
+// corrupt or config-mismatched shard does not abort the load: the healthy
+// shards still warm-start the service — losing one shard's verdicts only
+// costs re-verification, never correctness — and the joined error names
+// every bad shard so the operator sees the damage. Entries loaded from
+// dir are clean — they are already on disk in this layout — so a
+// following SaveDir does not rewrite them (a corrupt shard file is
+// likewise left in place until its entries are re-earned and re-saved).
 func (c *Cache) LoadDir(dir string) (loaded int, err error) {
+	var bad []error
 	for s := 0; s < SaveShards; s++ {
-		f, err := os.Open(shardPath(dir, s))
-		if errors.Is(err, os.ErrNotExist) {
+		f, ferr := os.Open(shardPath(dir, s))
+		if errors.Is(ferr, os.ErrNotExist) {
 			continue
 		}
-		if err != nil {
-			return loaded, err
+		if ferr != nil {
+			bad = append(bad, ferr)
+			continue
 		}
-		err = c.load(f, false)
+		ferr = c.load(f, false)
 		f.Close()
-		if err != nil {
-			return loaded, fmt.Errorf("mapping: cache shard %02x: %w", s, err)
+		if ferr != nil {
+			bad = append(bad, fmt.Errorf("mapping: cache shard %02x: %w", s, ferr))
+			continue
 		}
 		loaded++
 	}
-	return loaded, nil
+	return loaded, errors.Join(bad...)
 }
 
 // SaveFile writes the cache to path (atomically via a sibling temp file).

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"tightcps/internal/switching"
@@ -191,5 +192,68 @@ func TestCacheLegacyFileConvertsToShards(t *testing.T) {
 	}
 	if n, err := warm.SaveDir(dir); err != nil || n != 0 {
 		t.Fatalf("shard-loaded verdicts were dirty: wrote %d shards (err %v), want 0", n, err)
+	}
+}
+
+// TestCacheShardCorruptSkipped: one unreadable shard must not cost the
+// warm start — the healthy shards load, the error names the bad one, and
+// the lost verdicts are simply re-earned through the fallback.
+func TestCacheShardCorruptSkipped(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCacheFor(0xfeed)
+	fill(t, c, 0, 200)
+	written, err := c.SaveDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scribble over the first shard file present.
+	corrupted := -1
+	for s := 0; s < SaveShards; s++ {
+		if _, err := os.Stat(shardPath(dir, s)); err == nil {
+			if err := os.WriteFile(shardPath(dir, s), []byte("not a cache shard"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = s
+			break
+		}
+	}
+	if corrupted < 0 {
+		t.Fatal("no shard files written")
+	}
+
+	warm := NewCacheFor(0xfeed)
+	loaded, err := warm.LoadDir(dir)
+	if err == nil {
+		t.Fatal("corrupt shard load reported no error")
+	}
+	if want := fmt.Sprintf("shard %02x", corrupted); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error does not name the bad shard: %v", err)
+	}
+	if loaded != written-1 {
+		t.Fatalf("loaded %d healthy shards, want %d", loaded, written-1)
+	}
+	if warm.Len() >= c.Len() || warm.Len() == 0 {
+		t.Fatalf("partial load holds %d verdicts (full cache %d)", warm.Len(), c.Len())
+	}
+
+	// Correctness: every question still answers — hits from the healthy
+	// shards, the corrupted shard's keys re-verified through the fallback.
+	reverified := 0
+	for i := 0; i < 200; i++ {
+		want := i%3 == 0
+		ok, err := warm.Do(shardProfiles(i), func([]*switching.Profile) (bool, error) {
+			reverified++
+			return want, nil
+		})
+		if err != nil || ok != want {
+			t.Fatalf("verdict %d after partial load: got (%v, %v), want %v", i, ok, err, want)
+		}
+	}
+	if reverified == 0 {
+		t.Fatal("corrupted shard lost no verdicts, so the test corrupted nothing")
+	}
+	if warm.Len() != c.Len() {
+		t.Fatalf("after re-verification the cache holds %d verdicts, want %d", warm.Len(), c.Len())
 	}
 }

@@ -71,6 +71,17 @@ type LinkSpan struct {
 	Bytes  int `json:"bytes"`
 }
 
+// FailoverSpan records one recovery of a fault-tolerant distributed run:
+// which nodes the coordinator declared dead, the checkpoint level the
+// cluster rolled back to (-1 = full restart), and how many hash shards
+// moved to new owners.
+type FailoverSpan struct {
+	Era    int   `json:"era"`  // post-recovery routing era
+	Dead   []int `json:"dead"` // complete dead set after this recovery
+	Cut    int   `json:"cut"`
+	Shards int   `json:"shardsReassigned"`
+}
+
 // WireSpan summarizes a distributed run's frontier-exchange volume.
 type WireSpan struct {
 	RoutedStates   int `json:"routedStates"`
@@ -98,10 +109,11 @@ type Trace struct {
 	Transitions int    `json:"transitions"`
 	Depth       int    `json:"depth"`
 
-	Levels  []LevelSpan `json:"levels"`
-	Cluster []NodeSpan  `json:"cluster,omitempty"`
-	Links   []LinkSpan  `json:"links,omitempty"`
-	Wire    *WireSpan   `json:"wire,omitempty"`
+	Levels    []LevelSpan    `json:"levels"`
+	Cluster   []NodeSpan     `json:"cluster,omitempty"`
+	Links     []LinkSpan     `json:"links,omitempty"`
+	Failovers []FailoverSpan `json:"failovers,omitempty"`
+	Wire      *WireSpan      `json:"wire,omitempty"`
 	// Epochs counts the coordinator's poll rounds on a mesh run.
 	Epochs int `json:"epochs,omitempty"`
 
@@ -161,6 +173,18 @@ func (t *Trace) AddLink(from, to, states, bytes int) {
 		}
 	}
 	t.Links = append(t.Links, LinkSpan{From: from, To: to, States: states, Bytes: bytes})
+	t.mu.Unlock()
+}
+
+// AddFailover records one recovery of a fault-tolerant distributed run.
+func (t *Trace) AddFailover(era int, dead []int, cut, shards int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Failovers = append(t.Failovers, FailoverSpan{
+		Era: era, Dead: append([]int(nil), dead...), Cut: cut, Shards: shards,
+	})
 	t.mu.Unlock()
 }
 

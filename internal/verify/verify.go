@@ -135,6 +135,22 @@ type Config struct {
 	// Trace, which records parent pointers for counterexample
 	// reconstruction.
 	RunTrace *obs.Trace
+	// FaultTolerance, meaningful only for distributed runs, keeps the run
+	// alive through worker deaths: the coordinator detects dead workers by
+	// transport failure or poll timeout, reassigns their hash shards to
+	// survivors (or late-joining replacements) and rolls the cluster back
+	// to the last checkpointed level. The verdict and all exhaustive
+	// counts are unchanged by recovery — mapping.VerifyConfigKey excludes
+	// this knob, so cached verdicts stay valid. Without CheckpointDir,
+	// recovery degrades to a full restart of the search on the survivors.
+	FaultTolerance bool
+	// CheckpointDir is where fault-tolerant distributed runs persist
+	// per-level visited-set segments (a per-session subdirectory is
+	// created and removed on completion). Every worker must see the same
+	// path — same host or shared filesystem — for takeover to restore a
+	// dead worker's shards. Empty disables checkpointing (see
+	// FaultTolerance). Ignored by local searches and cache keys.
+	CheckpointDir string
 }
 
 // DistTopology names a distributed frontier-exchange topology.
