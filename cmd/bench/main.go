@@ -93,6 +93,24 @@ type scalingEntry struct {
 	SpeedupVsPR4    float64 `json:"speedup_vs_pr4_loopback2"`
 }
 
+// laneScalingEntry is one workers-per-node measurement of the lane-pool
+// study, carrying the contention counters (visited-set CAS retries,
+// work-queue steals) accumulated by the run alongside throughput and
+// allocation. Gomaxprocs/NumCPU qualify every row: on the 1-CPU CI
+// containers the multi-lane rows measure coordination overhead, not
+// speedup — Note says so explicitly, so nobody quotes them as scaling.
+type laneScalingEntry struct {
+	Nodes          int     `json:"nodes"`
+	WorkersPerNode int     `json:"workers_per_node"`
+	Gomaxprocs     int     `json:"gomaxprocs"`
+	NumCPU         int     `json:"num_cpu"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	Steals         uint64  `json:"steals"`
+	CASRetries     uint64  `json:"cas_retries"`
+	Note           string  `json:"note,omitempty"`
+}
+
 // report is the BENCH_verify.json schema.
 type report struct {
 	Generated string `json:"generated"`
@@ -111,6 +129,9 @@ type report struct {
 	// measurement, recorded once.
 	BaselineLB2 float64        `json:"baseline_loopback2_pr4_states_per_sec"`
 	Scaling     []scalingEntry `json:"distributed_scaling"`
+	// LaneScaling is the workers-per-node study with contention counters —
+	// the PR-10 lock-free set / work-stealing trajectory.
+	LaneScaling []laneScalingEntry `json:"lane_scaling"`
 	BRatio      float64        `json:"b_per_op_improvement"`
 	AllocsRat   float64        `json:"allocs_per_op_improvement"`
 }
@@ -130,6 +151,13 @@ var baselineS1 = benchResult{
 // coordinator-relay exchange, 625ms for S1) — the anchor the mesh's
 // scaling numbers are gated against.
 const baselineLoopback2PR4 = 1440712 / 0.625211794
+
+// laneAllocCeiling is the absolute allocs/op bound for the multi-lane
+// loopback rows. Post-crew runs sit around a few hundred allocations per
+// op (link buffers and level bookkeeping); the ceiling leaves headroom
+// for noise while staying far below the ~12k/op of the spawn-per-chunk
+// leak it guards against.
+const laneAllocCeiling = 2000
 
 // fleetProfiles builds n identical synthetic profiles (distinct names) with
 // constant dwell windows — the fleet workload of the wide encoding,
@@ -249,9 +277,10 @@ func main() {
 	// each at per-node expansion pools of 1 and 4 lanes (the node-scaling ×
 	// core-scaling study), plus the two-worker relay for the wire-volume
 	// numbers of the compressed codec path.
-	var mesh2w1, mesh4w1 benchResult
+	var mesh2w1, mesh2w4, mesh4w1 benchResult
 	meshRun := func(name string, n, workers int) benchResult {
 		fmt.Fprintf(os.Stderr, "bench: %s (%d-node mesh, %d workers/node)...\n", name, n, workers)
+		c0 := verify.Contention()
 		ts := dverify.Loopback(n)
 		defer dverify.Close(ts)
 		runner := dverify.Runner(ts)
@@ -266,6 +295,15 @@ func main() {
 			os.Exit(1)
 		}
 		r := measure(name, &states, run)
+		// Contention counters flush into the engine telemetry when a worker
+		// session tears down, which a follow-up Init does synchronously: one
+		// more untimed run closes the books on every measured session (its
+		// own contention stays unflushed and outside the delta).
+		if _, err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		c1 := verify.Contention()
 		rep.Current = append(rep.Current, r)
 		rep.Scaling = append(rep.Scaling, scalingEntry{
 			Nodes: n, Topology: "mesh", WorkersPerNode: workers, CoresTotal: n * workers,
@@ -273,12 +311,24 @@ func main() {
 			SpeedupVsSingle: r.StatesPerSec / single,
 			SpeedupVsPR4:    r.StatesPerSec / baselineLoopback2PR4,
 		})
+		note := ""
+		if runtime.GOMAXPROCS(0) < n*workers {
+			note = "host has fewer cores than lanes: row measures coordination overhead, not speedup"
+		}
+		rep.LaneScaling = append(rep.LaneScaling, laneScalingEntry{
+			Nodes: n, WorkersPerNode: workers,
+			Gomaxprocs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			StatesPerSec: r.StatesPerSec, AllocsPerOp: r.AllocsPerOp,
+			Steals:     c1.Steals - c0.Steals,
+			CASRetries: c1.CASRetries - c0.CASRetries,
+			Note:       note,
+		})
 		return r
 	}
 	mesh2w1 = meshRun("VerifyS1Loopback2", 2, 1)
-	meshRun("VerifyS1Loopback2x4", 2, 4)
+	mesh2w4 = meshRun("VerifyS1Loopback2x4", 2, 4)
 	mesh4w1 = meshRun("VerifyS1Loopback4", 4, 1)
-	meshRun("VerifyS1Loopback4x4", 4, 4)
+	mesh4w4 := meshRun("VerifyS1Loopback4x4", 4, 4)
 
 	fmt.Fprintln(os.Stderr, "bench: VerifyS1Loopback2Relay (2-node relay)...")
 	ts := dverify.Loopback(2)
@@ -311,6 +361,33 @@ func main() {
 	if ratio := float64(mesh4w1.AllocsPerOp) / float64(mesh2w1.AllocsPerOp); ratio > 1.5 {
 		fmt.Fprintf(os.Stderr, "bench: FAIL: 4-node mesh allocs/op is %.2f× the 2-node run (%d vs %d), want ≤ 1.5× — per-node allocation is growing with cluster size\n",
 			ratio, mesh4w1.AllocsPerOp, mesh2w1.AllocsPerOp)
+		os.Exit(1)
+	}
+	// Lane-pool alloc gates: multi-lane runs must stay within 10× the
+	// one-lane figure (before the persistent crews the 2x4 run allocated
+	// ~150× — a goroutine spawn plus escaped atomics per chunk) and under an
+	// absolute per-op ceiling, so the leak cannot creep back gradually.
+	for _, g := range []struct {
+		multi, one benchResult
+	}{{mesh2w4, mesh2w1}, {mesh4w4, mesh4w1}} {
+		if g.multi.AllocsPerOp > 10*g.one.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: %s allocs/op is %.1f× the 1-lane run (%d vs %d), want ≤ 10× — the lane pool is allocating per chunk again\n",
+				g.multi.Name, float64(g.multi.AllocsPerOp)/float64(g.one.AllocsPerOp), g.multi.AllocsPerOp, g.one.AllocsPerOp)
+			os.Exit(1)
+		}
+		if g.multi.AllocsPerOp > laneAllocCeiling {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: %s allocates %d/op, want ≤ %d (absolute ceiling)\n",
+				g.multi.Name, g.multi.AllocsPerOp, laneAllocCeiling)
+			os.Exit(1)
+		}
+	}
+	// Throughput gate, meaningful only where the lanes have cores to run
+	// on: with 4+ cores the 4-lane 2-node run must not be slower than the
+	// 1-lane one. On the 1-CPU CI hosts this is skipped (and the rows carry
+	// the overhead note instead).
+	if runtime.GOMAXPROCS(0) >= 4 && mesh2w4.StatesPerSec < mesh2w1.StatesPerSec {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: on a %d-proc host the 4-lane 2-node mesh (%.0f states/s) is slower than 1-lane (%.0f states/s)\n",
+			runtime.GOMAXPROCS(0), mesh2w4.StatesPerSec, mesh2w1.StatesPerSec)
 		os.Exit(1)
 	}
 	rep.Wire = wireResult{

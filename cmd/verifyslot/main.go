@@ -8,6 +8,7 @@
 //	           [-maxstates N] [-nodes K | -connect host:port,host:port]
 //	           [-mesh=false] [-json] [-tracefile out.json]
 //	           [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	           [-mutexprofile out.pprof] [-blockprofile out.pprof]
 //
 // -json replaces the text report with the per-run trace as JSON (verdict,
 // states, rate, per-level frontier table, wire stats) — one parseable
@@ -34,7 +35,14 @@
 //
 // -cpuprofile and -memprofile write pprof profiles of the verification —
 // the expansion core is the product's hot path, so regressions are
-// diagnosed here rather than by instrumenting the library.
+// diagnosed here rather than by instrumenting the library. -mutexprofile
+// and -blockprofile capture where worker lanes wait instead of where they
+// burn — the profiles that motivated replacing the striped-mutex visited
+// sets with lock-free CAS tables (DESIGN.md §10).
+//
+// -workers 0 (the default) runs a pool of GOMAXPROCS lanes whose active
+// count a contention-aware tuner adapts level to level; an explicit N
+// pins the pool size, and 1 forces the sequential search.
 package main
 
 import (
@@ -63,12 +71,26 @@ func main() {
 	os.Exit(run())
 }
 
+// writeLookupProfile dumps one of the runtime's named profiles (mutex,
+// block) at exit, debug=0 so pprof reads it directly.
+func writeLookupProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verifyslot: -%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "verifyslot: -%sprofile: %v\n", name, err)
+	}
+}
+
 func run() int {
 	appsFlag := flag.String("apps", "C1,C5,C4,C3", "comma-separated applications")
 	bounded := flag.Bool("bounded", false, "use the bounded-disturbance acceleration")
 	useTA := flag.Bool("ta", false, "check the faithful Fig. 5–7 timed-automata network instead of the packed verifier")
 	lazy := flag.Bool("lazy", false, "verify the lazy-preemption policy")
-	workers := flag.Int("workers", 0, "BFS worker pool size (0 = GOMAXPROCS, 1 = sequential; must be ≥ 0)")
+	workers := flag.Int("workers", 0, "BFS worker pool size (0 = GOMAXPROCS lanes with contention-aware autotuning, 1 = sequential; must be ≥ 0)")
 	maxStates := flag.Int("maxstates", 0, "visited-state budget, per node when distributed (0 = 200M)")
 	nodes := flag.Int("nodes", 0, "distribute over K in-process loopback workers (0 = local verification)")
 	connect := flag.String("connect", "", "distribute over verifyd workers at these comma-separated addresses")
@@ -83,9 +105,11 @@ func run() int {
 	traceFile := flag.String("tracefile", "", "write the per-run JSON trace report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the verification to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the verification to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile of the verification to this file")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile of the verification to this file")
 	flag.Parse()
 	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "verifyslot: -workers must be ≥ 0 (0 = GOMAXPROCS, 1 = sequential), got %d\n", *workers)
+		fmt.Fprintf(os.Stderr, "verifyslot: -workers must be ≥ 0 (0 = autotuned GOMAXPROCS pool, 1 = sequential), got %d\n", *workers)
 		return 2
 	}
 	if *useTA && (*nodes > 0 || *connect != "" || *maxStates != 0) {
@@ -107,8 +131,9 @@ func run() int {
 	}
 
 	if *server != "" {
-		if *useTA || *nodes > 0 || *connect != "" || *cpuprofile != "" || *memprofile != "" {
-			fmt.Fprintln(os.Stderr, "verifyslot: -server submits remotely; -ta/-nodes/-connect/-cpuprofile/-memprofile are local-run flags")
+		if *useTA || *nodes > 0 || *connect != "" || *cpuprofile != "" || *memprofile != "" ||
+			*mutexprofile != "" || *blockprofile != "" {
+			fmt.Fprintln(os.Stderr, "verifyslot: -server submits remotely; -ta/-nodes/-connect and the profiling flags are local-run flags")
 			return 2
 		}
 		return runServer(*server, *serverRetries, names, verify.Spec{
@@ -150,6 +175,23 @@ func run() int {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "verifyslot: -memprofile:", err)
 			}
+		}()
+	}
+	// Contention profiles answer the question the CPU profile cannot: where
+	// lanes wait rather than where they burn. Sampling is enabled only when
+	// asked — both profilers tax the hot path.
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			defer runtime.SetMutexProfileFraction(0)
+			writeLookupProfile("mutex", *mutexprofile)
+		}()
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1000) // one sample per μs blocked
+		defer func() {
+			defer runtime.SetBlockProfileRate(0)
+			writeLookupProfile("block", *blockprofile)
 		}()
 	}
 

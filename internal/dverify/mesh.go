@@ -68,7 +68,34 @@ const (
 	meshParallelThreshold = 256
 	meshLaneChunk         = 64
 	meshFreeBatches       = 512
+	// meshTuneWindow is how many parallel-expanded states the autotuner
+	// accumulates before one throughput observation — chunks are too small
+	// (a millisecond or less) to be a signal on their own.
+	meshTuneWindow = 8192
 )
+
+// Crew task modes (meshWorker.ptask.mode / the crew body's dispatch).
+const (
+	laneTaskExpand = iota
+	laneTaskAbsorb
+)
+
+// meshPTask carries one parallel fan-out's parameters and shared atomics.
+// It lives on the worker so repeated fan-outs reuse the same memory — the
+// per-call atomics of the old spawn-per-chunk path escaped to the heap and
+// were the dominant share of the multi-lane allocation leak. The
+// orchestrator writes the fields before waking the crew (the wake send
+// publishes them); lanes treat everything but the atomics as read-only.
+type meshPTask struct {
+	mode       int
+	states     []verify.PackedState
+	commitOK   bool
+	dropSucc   bool
+	boundCopy  verify.PackedState // stable backing for the seeded skip bound
+	minViol    atomic.Pointer[verify.PackedState]
+	freshTotal atomic.Int64
+	tooLarge   atomic.Bool
+}
 
 // meshBatch is one level-tagged batch of decoded states crossing a mesh
 // link, or a link failure surfaced into the owner's inbox. era tags the
@@ -171,6 +198,22 @@ type meshWorker struct {
 	esc     *verify.ExpandScratch
 	hsucc   []verify.HashedState
 	lanes   []*meshLane // nil when workers == 1 (serial expansion)
+
+	// Parallel fan-out machinery: the persistent lane crew, the reusable
+	// task, and — for auto-width jobs (Job.Workers == 0) — the contention-
+	// aware tuner deciding how many of the pooled lanes wake per fan-out,
+	// fed by windows of parallel-expansion throughput. contFlushed and
+	// stealsFlushed mark how much of the visited set's cumulative
+	// contention ledger has already been folded into the engine telemetry
+	// (the set and crew survive re-Inits, so shutdown flushes deltas).
+	crew          laneCrew
+	ptask         meshPTask
+	tuner         *verify.LaneTuner
+	tunStates     int
+	tunElapsed    time.Duration
+	tunRetries    int64
+	contFlushed   verify.SetStats
+	stealsFlushed int64
 
 	inbox   *meshInbox
 	spareQ  []meshBatch
@@ -370,6 +413,10 @@ func newMeshWorker(job *Job, env meshEnv, prev *meshWorker) (*meshWorker, *Respo
 				violApp: -1,
 			}
 		}
+		w.crew.body = w.lanePass
+		if job.Workers <= 0 {
+			w.tuner = verify.NewLaneTuner(workers)
+		}
 	} else {
 		w.visited = exp.NewSet(1 << 16)
 	}
@@ -496,6 +543,13 @@ func (w *meshWorker) reinit(job *Job, env meshEnv) (*meshWorker, *Response, erro
 		}
 		ln.reset()
 	}
+	if w.lanes != nil && job.Workers <= 0 {
+		w.tuner = verify.NewLaneTuner(len(w.lanes))
+	} else {
+		w.tuner = nil
+	}
+	w.tunStates, w.tunElapsed = 0, 0
+	w.tunRetries = w.visited.Stats().Retries
 	w.visited.Reset()
 	w.fresh, w.transitions, w.maxFresh = 0, 0, 0
 	w.routed, w.filtered, w.wireBytes = 0, 0, 0
@@ -634,52 +688,59 @@ func (w *meshWorker) absorb(level int, states []verify.PackedState) {
 	w.putBatch(states)
 }
 
-// absorbParallel is the contention-free absorb path: lanes claim chunks
-// of the batch from an atomic cursor, hash each state once and insert it
-// into the striped visited set, staging fresh commits lane-locally; the
-// orchestrator folds the stages into the level bucket afterwards, so the
-// bucket and the per-level counters never see concurrent writers.
+// absorbParallel is the contention-free absorb path: the crew's lanes claim
+// chunks of the batch from the work-stealing queue, hash each state once and
+// insert it into the lock-free striped visited set, staging fresh commits
+// lane-locally; the orchestrator folds the stages into the level bucket
+// afterwards, so the bucket and the per-level counters never see concurrent
+// writers.
 func (w *meshWorker) absorbParallel(level int, states []verify.PackedState) {
-	var cursor, freshTotal atomic.Int64
-	freshTotal.Store(int64(w.fresh))
-	budget := int64(w.budget)
-	var tooLarge atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(len(w.lanes))
-	for _, ln := range w.lanes {
-		go func(ln *meshLane) {
-			defer wg.Done()
-			ln.next = ln.next[:0]
-			for {
-				lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
-				if lo >= len(states) || tooLarge.Load() {
-					return
-				}
-				hi := min(lo+meshLaneChunk, len(states))
-				for _, s := range states[lo:hi] {
-					if w.visited.AddHashed(s, w.exp.Hash(s)) {
-						if freshTotal.Add(1) > budget {
-							tooLarge.Store(true)
-							return
-						}
-						ln.next = append(ln.next, s)
-					}
-				}
-			}
-		}(ln)
-	}
-	wg.Wait()
-	w.commitMerged(level, tooLarge.Load())
+	active := w.activeLanes()
+	t := &w.ptask
+	t.mode = laneTaskAbsorb
+	t.states = states
+	t.freshTotal.Store(int64(w.fresh))
+	t.tooLarge.Store(false)
+	w.crew.ensure(w.lanes)
+	w.crew.fan(active, len(states), meshLaneChunk)
+	t.states = nil
+	w.commitMerged(level, t.tooLarge.Load(), active)
 }
 
-// commitMerged folds the lanes' fresh commits of one parallel pass into
-// the level bucket and the counters the serial commit1 maintains.
-func (w *meshWorker) commitMerged(level int, tooLarge bool) {
+// activeLanes is how many pooled lanes the next fan-out wakes: all of them
+// on fixed-width jobs, the tuner's current pick on auto-width ones.
+func (w *meshWorker) activeLanes() int {
+	if w.tuner == nil {
+		return len(w.lanes)
+	}
+	if a := w.tuner.Lanes(); a < len(w.lanes) {
+		return a
+	}
+	return len(w.lanes)
+}
+
+// tuneWindow accumulates parallel-expansion throughput for the autotuner
+// and hands it a sample once the window is big enough to be a signal.
+func (w *meshWorker) tuneWindow(states int, elapsed time.Duration) {
+	w.tunStates += states
+	w.tunElapsed += elapsed
+	if w.tunStates < meshTuneWindow {
+		return
+	}
+	r := w.visited.Stats().Retries
+	w.tuner.Observe(w.tunStates, w.tunElapsed, r-w.tunRetries)
+	w.tunRetries = r
+	w.tunStates, w.tunElapsed = 0, 0
+}
+
+// commitMerged folds the active lanes' fresh commits of one parallel pass
+// into the level bucket and the counters the serial commit1 maintains.
+func (w *meshWorker) commitMerged(level int, tooLarge bool, active int) {
 	if tooLarge {
 		w.tooLarge = true
 	}
 	total := 0
-	for _, ln := range w.lanes {
+	for _, ln := range w.lanes[:active] {
 		total += len(ln.next)
 	}
 	if total == 0 {
@@ -688,7 +749,7 @@ func (w *meshWorker) commitMerged(level int, tooLarge bool) {
 	if len(w.buckets[level]) == 0 && cap(w.buckets[level]) == 0 {
 		w.buckets[level] = w.newBucket(level)
 	}
-	for _, ln := range w.lanes {
+	for _, ln := range w.lanes[:active] {
 		w.buckets[level] = append(w.buckets[level], ln.next...)
 		ln.next = ln.next[:0]
 	}
@@ -950,7 +1011,7 @@ func (w *meshWorker) expandChunk(n int) bool {
 		w.visited.Reserve(est)
 	}
 	if w.lanes != nil && len(w.buckets[l])-w.cursors[l] >= meshParallelThreshold && !w.tooLarge {
-		w.expandParallel(l, n*len(w.lanes))
+		w.expandParallel(l, n)
 	} else {
 		w.expandSerial(l, n)
 	}
@@ -1008,8 +1069,8 @@ func (w *meshWorker) expandSerial(l, n int) {
 	}
 }
 
-// expandParallel fans a claim of up to n bucket states across the lane
-// pool. Two facts are frozen for the whole chunk on the orchestrator
+// expandParallel fans a claim of up to n-states-per-active-lane across the
+// crew. Two facts are frozen for the whole chunk on the orchestrator
 // side — whether level l+1 is committable (commit rule) and whether it is
 // beyond the violation bound — because only the orchestrator ever moves
 // them. A violation found mid-chunk therefore cannot retract the chunk's
@@ -1018,47 +1079,86 @@ func (w *meshWorker) expandSerial(l, n int) {
 // level can never be suppressed by a larger one (the skip bound only
 // drops states *greater* than the recorded minimum).
 func (w *meshWorker) expandParallel(l, n int) {
+	active := w.activeLanes()
 	lo := w.cursors[l]
-	hi := min(lo+n, len(w.buckets[l]))
-	states := w.buckets[l][lo:hi]
+	hi := min(lo+n*active, len(w.buckets[l]))
+	t := &w.ptask
+	t.mode = laneTaskExpand
+	t.states = w.buckets[l][lo:hi]
 	w.cursors[l] = hi
-	commitOK := l+1 <= w.final+1
-	dropSucc := w.haveBound && l+1 > w.boundLevel
-	if commitOK {
+	t.commitOK = l+1 <= w.final+1
+	t.dropSucc = w.haveBound && l+1 > w.boundLevel
+	if t.commitOK {
 		w.ensureLevel(l + 1)
 	}
-	var minViol atomic.Pointer[verify.PackedState]
+	t.minViol.Store(nil)
 	if w.haveBound && l == w.boundLevel {
-		bs := w.boundState
-		minViol.Store(&bs)
+		t.boundCopy = w.boundState
+		t.minViol.Store(&t.boundCopy)
 	}
-	var cursor, freshTotal atomic.Int64
-	freshTotal.Store(int64(w.fresh))
-	var tooLarge atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(len(w.lanes))
-	for _, ln := range w.lanes {
-		if !commitOK && ln.defr == nil {
+	t.freshTotal.Store(int64(w.fresh))
+	t.tooLarge.Store(false)
+	for _, ln := range w.lanes[:active] {
+		if !t.commitOK && ln.defr == nil {
 			ln.defr = w.getBatch()
 		}
-		go ln.run(w, states, &cursor, &minViol, &freshTotal, &tooLarge, commitOK, dropSucc, &wg)
 	}
-	wg.Wait()
-	w.mergeLanes(l, commitOK, tooLarge.Load())
+	w.crew.ensure(w.lanes)
+	var start time.Time
+	if w.tuner != nil {
+		start = time.Now()
+	}
+	w.crew.fan(active, len(t.states), meshLaneChunk)
+	if w.tuner != nil {
+		w.tuneWindow(len(t.states), time.Since(start))
+	}
+	t.states = nil
+	w.mergeLanes(l, t.commitOK, t.tooLarge.Load(), active)
 }
 
-// run is one lane's share of a parallel chunk: steal small ranges from
-// the cursor, expand each state through the lane's own scratch (hashing
-// during packing), and stage everything lane-locally — peer-owned
-// successors per destination, self-owned ones either straight into the
-// striped visited set (committable levels) or into the deferred batch.
-// The only shared writes are the striped set, the chunk atomics and the
-// minimum-violator CAS.
-func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
-	cursor *atomic.Int64, minViol *atomic.Pointer[verify.PackedState],
-	freshTotal *atomic.Int64, tooLarge *atomic.Bool,
-	commitOK, dropSucc bool, wg *sync.WaitGroup) {
-	defer wg.Done()
+// lanePass is the crew body: one wake of one lane, dispatched on the
+// worker's current task.
+func (w *meshWorker) lanePass(lane int, ln *meshLane) {
+	if w.ptask.mode == laneTaskAbsorb {
+		w.laneAbsorb(lane, ln)
+		return
+	}
+	w.laneExpand(lane, ln)
+}
+
+// laneAbsorb is one lane's share of a parallel absorb: claim chunks from
+// the work queue, hash each state once, insert into the lock-free striped
+// set, stage fresh commits lane-locally.
+func (w *meshWorker) laneAbsorb(lane int, ln *meshLane) {
+	t := &w.ptask
+	budget := int64(w.budget)
+	ln.next = ln.next[:0]
+	for {
+		lo, hi, ok := w.crew.wq.Next(lane)
+		if !ok || t.tooLarge.Load() {
+			return
+		}
+		for _, s := range t.states[lo:hi] {
+			if w.visited.AddHashed(s, w.exp.Hash(s)) {
+				if t.freshTotal.Add(1) > budget {
+					t.tooLarge.Store(true)
+					return
+				}
+				ln.next = append(ln.next, s)
+			}
+		}
+	}
+}
+
+// laneExpand is one lane's share of a parallel expansion chunk: claim
+// ranges from the work-stealing queue, expand each state through the
+// lane's own scratch (hashing during packing), and stage everything
+// lane-locally — peer-owned successors per destination, self-owned ones
+// either straight into the striped visited set (committable levels) or
+// into the deferred batch. The only shared writes are the striped set,
+// the task atomics and the minimum-violator CAS.
+func (w *meshWorker) laneExpand(lane int, ln *meshLane) {
+	t := &w.ptask
 	ln.trans, ln.haveViol = 0, false
 	ln.next = ln.next[:0]
 	if w.ckptOn {
@@ -1066,13 +1166,12 @@ func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
 	}
 	budget := int64(w.budget)
 	for {
-		lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
-		if lo >= len(states) || tooLarge.Load() {
+		lo, hi, ok := w.crew.wq.Next(lane)
+		if !ok || t.tooLarge.Load() {
 			return
 		}
-		hi := min(lo+meshLaneChunk, len(states))
-		for _, s := range states[lo:hi] {
-			if mv := minViol.Load(); mv != nil && verify.LessState(*mv, s) {
+		for _, s := range t.states[lo:hi] {
+			if mv := t.minViol.Load(); mv != nil && verify.LessState(*mv, s) {
 				continue // a smaller violator at this level already wins
 			}
 			succ, violApp := w.exp.SuccessorsHashedInto(s, ln.esc, ln.succ[:0])
@@ -1082,12 +1181,12 @@ func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
 					ln.haveViol, ln.violState, ln.violApp = true, s, violApp
 				}
 				for { // tighten the shared skip bound (runParallel idiom)
-					mv := minViol.Load()
+					mv := t.minViol.Load()
 					if mv != nil && !verify.LessState(s, *mv) {
 						break
 					}
 					ns := s
-					if minViol.CompareAndSwap(mv, &ns) {
+					if t.minViol.CompareAndSwap(mv, &ns) {
 						break
 					}
 				}
@@ -1097,17 +1196,17 @@ func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
 			if w.ckptOn {
 				ln.ftt[w.exp.Hash(s)>>58] += int64(len(succ))
 			}
-			if dropSucc {
+			if t.dropSucc {
 				continue // successors beyond the verdict level
 			}
 			for _, ns := range succ {
 				if dst := int(w.owners[ns.H>>58]); dst != w.id {
 					ln.out[dst] = append(ln.out[dst], ns)
-				} else if !commitOK {
+				} else if !t.commitOK {
 					ln.defr = append(ln.defr, ns.S)
 				} else if w.visited.AddHashed(ns.S, ns.H) {
-					if freshTotal.Add(1) > budget {
-						tooLarge.Store(true)
+					if t.freshTotal.Add(1) > budget {
+						t.tooLarge.Store(true)
 						return
 					}
 					ln.next = append(ln.next, ns.S)
@@ -1124,10 +1223,10 @@ func (ln *meshLane) run(w *meshWorker, states []verify.PackedState,
 // staged peer routes — pushed through each destination's recent-state
 // filter into the coalesced send buffer by this one goroutine, so the
 // per-level sent counts the epoch tracker sums stay exact.
-func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
+func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool, active int) {
 	level := l + 1
 	w.ensureLevel(level)
-	for _, ln := range w.lanes {
+	for _, ln := range w.lanes[:active] {
 		w.transitions += ln.trans
 		if w.ckptOn && ln.trans > 0 {
 			w.ftTransMerge(l, &ln.ftt)
@@ -1137,9 +1236,9 @@ func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
 		}
 	}
 	if commitOK {
-		w.commitMerged(level, tooLarge)
+		w.commitMerged(level, tooLarge, active)
 	} else {
-		for _, ln := range w.lanes {
+		for _, ln := range w.lanes[:active] {
 			if ln.defr == nil {
 				continue
 			}
@@ -1154,7 +1253,7 @@ func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
 	if w.haveBound && level > w.boundLevel {
 		// The chunk's own violations doomed its successors: drop the
 		// staged routes, exactly as the serial path skips them.
-		for _, ln := range w.lanes {
+		for _, ln := range w.lanes[:active] {
 			for d := range ln.out {
 				ln.out[d] = ln.out[d][:0]
 			}
@@ -1165,7 +1264,7 @@ func (w *meshWorker) mergeLanes(l int, commitOK, tooLarge bool) {
 		if d == w.id {
 			continue
 		}
-		for _, ln := range w.lanes {
+		for _, ln := range w.lanes[:active] {
 			for _, ns := range ln.out[d] {
 				if w.filters[d].slots != nil && w.filters[d].seen(ns.S, ns.H) {
 					w.filtered++
@@ -1422,6 +1521,21 @@ func (w *meshWorker) shutdown() {
 	obsWireBytes.Add(uint64(w.wireBytes))
 	obsRoutedStates.Add(uint64(w.routed))
 	obsFilteredStates.Add(uint64(w.filtered))
+	w.crew.stop()
+	if w.lanes != nil {
+		// Contention deltas since the last flush: the sharded set and the
+		// steal counter survive session reinit, so fold only this session's
+		// share into the engine telemetry (Overflows reset with the set, so
+		// the raw value is already the session's).
+		s := w.visited.Stats()
+		verify.FlushContention(verify.SetStats{
+			Probes:    s.Probes - w.contFlushed.Probes,
+			Retries:   s.Retries - w.contFlushed.Retries,
+			Overflows: s.Overflows,
+		}, int64(w.transitions), w.crew.wq.Steals()-w.stealsFlushed)
+		w.contFlushed = s
+		w.stealsFlushed = w.crew.wq.Steals()
+	}
 	for _, l := range w.links {
 		if l != nil {
 			l.close()

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
-	"sync"
 	"sync/atomic"
+	"time"
 
 	"tightcps/internal/switching"
 	"tightcps/internal/verify"
@@ -127,9 +127,29 @@ type node struct {
 	lanes     []*meshLane // nil when workers == 1
 	stored    int
 	tooLarge  bool
+	// Lane-pool machinery (workers > 1): the persistent crew, the reusable
+	// fan-out task, the optional autotuner (Workers == 0), and the
+	// already-flushed contention baselines (the striped set and the steal
+	// counter survive reinit, so teardown flushes deltas).
+	crew          laneCrew
+	ptask         nodePTask
+	tuner         *verify.LaneTuner
+	tunRetries    int64
+	transitions   int64
+	contFlushed   verify.SetStats
+	stealsFlushed int64
 	// initResp backs reinit's Init reply; the previous one is long
 	// consumed by the time a follow-up job re-Inits the node.
 	initResp Response
+}
+
+// nodePTask carries one relay-node fan-out's shared atomics. Like the mesh
+// workers' meshPTask it lives on the node so repeated steps reuse the same
+// memory instead of escaping fresh atomics to the heap per level.
+type nodePTask struct {
+	minViol     atomic.Pointer[verify.PackedState]
+	storedTotal atomic.Int64
+	tooLarge    atomic.Bool
 }
 
 // newNode builds a node for the job, seeding the initial state on its
@@ -189,6 +209,10 @@ func newNode(job *Job, prev *node) (*node, *Response, error) {
 				violApp: -1,
 			}
 		}
+		nd.crew.body = nd.laneStep
+		if job.Workers <= 0 {
+			nd.tuner = verify.NewLaneTuner(workers)
+		}
 	} else {
 		nd.visited = exp.NewSet(1 << 12)
 	}
@@ -232,6 +256,12 @@ func (nd *node) reinit(job *Job) (*node, *Response, error) {
 	for _, ln := range nd.lanes {
 		ln.reset()
 	}
+	if nd.lanes != nil && job.Workers <= 0 {
+		nd.tuner = verify.NewLaneTuner(len(nd.lanes))
+	} else {
+		nd.tuner = nil
+	}
+	nd.tunRetries = nd.visited.Stats().Retries
 	nd.stored, nd.tooLarge = 0, false
 	resp := &nd.initResp
 	*resp = Response{Proto: protoVersion, ViolApp: -1}
@@ -262,6 +292,7 @@ func (nd *node) step() *Response {
 	} else {
 		nd.stepSerial(resp)
 	}
+	nd.transitions += int64(resp.Transitions)
 	for d := range nd.outStates {
 		nd.outBytes[d] = nd.codec.encode(nd.outStates[d], nd.outBytes[d][:0])
 		resp.Routed += len(nd.outStates[d])
@@ -314,77 +345,43 @@ func (nd *node) stepSerial(resp *Response) {
 	}
 }
 
-// stepParallel fans the frontier across the lane pool: lanes steal
-// chunks from an atomic cursor, expand through their own scratch, commit
-// self-owned successors straight into the striped visited set and stage
-// peer-owned ones per destination; the merge pushes the stages through
-// the recent-state filters single-threaded, so filter state and the
-// outgoing batches never see concurrent writers. The minimum violator
-// stays exact for the same reason as the mesh lanes: the CAS bound only
-// skips frontier states greater than a recorded violator.
+// stepParallel fans the frontier across the persistent lane crew: lanes
+// claim chunks from the work-stealing queue, expand through their own
+// scratch, commit self-owned successors straight into the striped visited
+// set and stage peer-owned ones per destination; the merge pushes the
+// stages through the recent-state filters single-threaded, so filter
+// state and the outgoing batches never see concurrent writers. The
+// minimum violator stays exact for the same reason as the mesh lanes: the
+// CAS bound only skips frontier states greater than a recorded violator.
+// Under autotuning each level is one throughput window; inactive lanes
+// never wake and are excluded from the merge.
 func (nd *node) stepParallel(resp *Response) {
-	var minViol atomic.Pointer[verify.PackedState]
-	var cursor, storedTotal atomic.Int64
-	storedTotal.Store(int64(nd.stored))
-	budget := int64(nd.budget)
-	var tooLarge atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(len(nd.lanes))
-	for _, ln := range nd.lanes {
-		go func(ln *meshLane) {
-			defer wg.Done()
-			ln.trans, ln.haveViol = 0, false
-			ln.next = ln.next[:0]
-			for {
-				lo := int(cursor.Add(meshLaneChunk)) - meshLaneChunk
-				if lo >= len(nd.frontier) || tooLarge.Load() {
-					return
-				}
-				hi := min(lo+meshLaneChunk, len(nd.frontier))
-				for _, s := range nd.frontier[lo:hi] {
-					if mv := minViol.Load(); mv != nil && verify.LessState(*mv, s) {
-						continue
-					}
-					succ, violApp := nd.exp.SuccessorsHashedInto(s, ln.esc, ln.succ[:0])
-					ln.succ = succ[:0]
-					if violApp >= 0 {
-						if !ln.haveViol || verify.LessState(s, ln.violState) {
-							ln.haveViol, ln.violState, ln.violApp = true, s, violApp
-						}
-						for {
-							mv := minViol.Load()
-							if mv != nil && !verify.LessState(s, *mv) {
-								break
-							}
-							vs := s
-							if minViol.CompareAndSwap(mv, &vs) {
-								break
-							}
-						}
-						continue
-					}
-					ln.trans += len(succ)
-					for _, ns := range succ {
-						if dst := int(nd.owners[ns.H>>58]); dst != nd.id {
-							ln.out[dst] = append(ln.out[dst], ns)
-						} else if nd.visited.AddHashed(ns.S, ns.H) {
-							if storedTotal.Add(1) > budget {
-								tooLarge.Store(true)
-								return
-							}
-							ln.next = append(ln.next, ns.S)
-						}
-					}
-				}
-			}
-		}(ln)
+	active := len(nd.lanes)
+	if nd.tuner != nil {
+		if a := nd.tuner.Lanes(); a < active {
+			active = a
+		}
 	}
-	wg.Wait()
-	nd.stored = int(storedTotal.Load())
-	if tooLarge.Load() {
+	t := &nd.ptask
+	t.minViol.Store(nil)
+	t.storedTotal.Store(int64(nd.stored))
+	t.tooLarge.Store(false)
+	nd.crew.ensure(nd.lanes)
+	var start time.Time
+	if nd.tuner != nil {
+		start = time.Now()
+	}
+	nd.crew.fan(active, len(nd.frontier), meshLaneChunk)
+	if nd.tuner != nil {
+		r := nd.visited.Stats().Retries
+		nd.tuner.Observe(len(nd.frontier), time.Since(start), r-nd.tunRetries)
+		nd.tunRetries = r
+	}
+	nd.stored = int(t.storedTotal.Load())
+	if t.tooLarge.Load() {
 		nd.tooLarge = true
 	}
-	for _, ln := range nd.lanes {
+	for _, ln := range nd.lanes[:active] {
 		resp.Transitions += ln.trans
 		if ln.haveViol && (!resp.Viol || verify.LessState(ln.violState, resp.ViolState)) {
 			resp.Viol, resp.ViolState, resp.ViolApp = true, ln.violState, ln.violApp
@@ -397,7 +394,7 @@ func (nd *node) stepParallel(resp *Response) {
 		if d == nd.id {
 			continue
 		}
-		for _, ln := range nd.lanes {
+		for _, ln := range nd.lanes[:active] {
 			for _, ns := range ln.out[d] {
 				if nd.filters[d].seen(ns.S, ns.H) {
 					resp.Filtered++
@@ -408,6 +405,75 @@ func (nd *node) stepParallel(resp *Response) {
 			ln.out[d] = ln.out[d][:0]
 		}
 	}
+}
+
+// laneStep is the relay node's crew body: one lane's share of one level.
+func (nd *node) laneStep(lane int, ln *meshLane) {
+	t := &nd.ptask
+	budget := int64(nd.budget)
+	ln.trans, ln.haveViol = 0, false
+	ln.next = ln.next[:0]
+	for {
+		lo, hi, ok := nd.crew.wq.Next(lane)
+		if !ok || t.tooLarge.Load() {
+			return
+		}
+		for _, s := range nd.frontier[lo:hi] {
+			if mv := t.minViol.Load(); mv != nil && verify.LessState(*mv, s) {
+				continue
+			}
+			succ, violApp := nd.exp.SuccessorsHashedInto(s, ln.esc, ln.succ[:0])
+			ln.succ = succ[:0]
+			if violApp >= 0 {
+				if !ln.haveViol || verify.LessState(s, ln.violState) {
+					ln.haveViol, ln.violState, ln.violApp = true, s, violApp
+				}
+				for {
+					mv := t.minViol.Load()
+					if mv != nil && !verify.LessState(s, *mv) {
+						break
+					}
+					vs := s
+					if t.minViol.CompareAndSwap(mv, &vs) {
+						break
+					}
+				}
+				continue
+			}
+			ln.trans += len(succ)
+			for _, ns := range succ {
+				if dst := int(nd.owners[ns.H>>58]); dst != nd.id {
+					ln.out[dst] = append(ln.out[dst], ns)
+				} else if nd.visited.AddHashed(ns.S, ns.H) {
+					if t.storedTotal.Add(1) > budget {
+						t.tooLarge.Store(true)
+						return
+					}
+					ln.next = append(ln.next, ns.S)
+				}
+			}
+		}
+	}
+}
+
+// teardown stops the node's lane crew and folds its share of the
+// contention ledger into the engine telemetry. The handler calls it when
+// the session moves on; a later reuse of the node respawns the crew
+// lazily on its first parallel level.
+func (nd *node) teardown() {
+	nd.crew.stop()
+	if nd.lanes == nil {
+		return
+	}
+	s := nd.visited.Stats()
+	verify.FlushContention(verify.SetStats{
+		Probes:    s.Probes - nd.contFlushed.Probes,
+		Retries:   s.Retries - nd.contFlushed.Retries,
+		Overflows: s.Overflows,
+	}, nd.transitions, nd.crew.wq.Steals()-nd.stealsFlushed)
+	nd.contFlushed = s
+	nd.stealsFlushed = nd.crew.wq.Steals()
+	nd.transitions = 0
 }
 
 // absorb merges the routed successor batches owned by this node into its
@@ -473,7 +539,10 @@ func (h *handler) reset() {
 		h.mw.shutdown()
 		h.mw = nil
 	}
-	h.nd = nil
+	if h.nd != nil {
+		h.nd.teardown()
+		h.nd = nil
+	}
 }
 
 // handle answers one request. Errors travel in Response.Err rather than

@@ -50,7 +50,9 @@ func TestWorkerPoolMatrixMatchesLocal(t *testing.T) {
 		}
 		for _, topo := range []verify.DistTopology{verify.TopologyMesh, verify.TopologyRelay} {
 			for _, nodes := range []int{2, 4} {
-				for _, workers := range []int{1, 4} {
+				// workers = 0 is the autotuned GOMAXPROCS pool: per-node lane
+				// counts may move between levels, the verdict must not.
+				for _, workers := range []int{0, 1, 4} {
 					cfg := verify.Config{
 						NondetTies: true, SymmetryReduction: tc.sym, MaxDisturbances: tc.md,
 						Workers: workers, DistTopology: topo,

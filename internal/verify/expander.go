@@ -225,10 +225,12 @@ func (e *Expander) NewSet(capacity int) *StateSet {
 
 // NewShardedSet returns a visited set striped 64-way by hash — the same
 // sharding as the local parallel searches — for drivers that absorb
-// states from several goroutines at once. Add and AddHashed are safe for
-// concurrent use and contend only when two states share a stripe; Len and
-// Reserve lock every stripe, so drivers keep them off the hot path (count
-// fresh adds instead) and call Reserve only between levels.
+// states from several goroutines at once. Add and AddHashed are lock-free
+// (CAS-claimed slots; see shardset.go for the exactness argument) and
+// contend only when two states race for the same slot. Len is exact and
+// Reserve/Reset rebuild tables in place, so both require quiescence —
+// drivers count fresh adds for budgets and call Reserve only between
+// levels, with no lanes in flight.
 func (e *Expander) NewShardedSet(capacity int) *StateSet {
 	if e.v.wide {
 		return &StateSet{shWide: newShardedWideSet(capacity)}
@@ -323,4 +325,18 @@ func (s *StateSet) Reset() {
 	default:
 		s.narrow.reset()
 	}
+}
+
+// Stats returns the cumulative contention ledger of a sharded set (zero for
+// the single-goroutine sets, which never contend). Distributed drivers
+// sample deltas between levels for lane autotuning and fold the totals into
+// the engine telemetry at session teardown via FlushContention.
+func (s *StateSet) Stats() SetStats {
+	switch {
+	case s.shNarrow != nil:
+		return s.shNarrow.stats()
+	case s.shWide != nil:
+		return s.shWide.stats()
+	}
+	return SetStats{}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Parallel BFS tuning.
@@ -12,9 +13,9 @@ const (
 	// expanded on the calling goroutine — spawning workers for tiny levels
 	// (the first few samples, or single-app checks) costs more than it saves.
 	serialLevelThreshold = 512
-	// chunkSize is the work-stealing granularity: workers claim frontier
-	// states in blocks of this many via an atomic cursor, balancing levels
-	// whose expansion cost varies state to state.
+	// chunkSize is the work-stealing granularity: lanes claim frontier
+	// states in blocks of this many from their WorkQueue partition,
+	// balancing levels whose expansion cost varies state to state.
 	chunkSize = 128
 )
 
@@ -43,14 +44,20 @@ type bfsWorker struct {
 
 // runParallel performs the level-synchronous sharded BFS. It visits exactly
 // the states the sequential search visits: the visited set is sharded 64-way
-// by state hash, every level is a barrier, and within a level workers claim
-// frontier chunks from an atomic cursor. For schedulable sets the search is
-// exhaustive, so States, Transitions and Depth equal the sequential counts.
-// On a violation the level is still swept far enough to find the minimum
-// violating packed state, so Schedulable and Violator are deterministic
-// (though Violator may differ from the sequential path's first-in-expansion-
-// order pick when several applications can violate at the same depth).
-func (v *Verifier) runParallel(workers int) (Result, error) {
+// by state hash, every level is a barrier, and within a level lanes claim
+// frontier chunks from a work-stealing queue (own partition first, then the
+// busiest other lane's). For schedulable sets the search is exhaustive, so
+// States, Transitions and Depth equal the sequential counts. On a violation
+// the level is still swept far enough to find the minimum violating packed
+// state, so Schedulable and Violator are deterministic (though Violator may
+// differ from the sequential path's first-in-expansion-order pick when
+// several applications can violate at the same depth).
+//
+// With auto set (Config.Workers = 0) the pool holds `workers` lanes but a
+// LaneTuner picks how many wake each level, adapting to contention; the
+// verdict does not depend on the active count, so tuning is free of
+// determinism cost.
+func (v *Verifier) runParallel(workers int, auto bool) (Result, error) {
 	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
 	visited := newShardedU64Set(1 << 16)
 	init := v.initial()
@@ -66,6 +73,14 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 	for i := range ws {
 		ws[i] = &bfsWorker{}
 	}
+	var wq WorkQueue
+	var tuner *LaneTuner
+	if auto {
+		tuner = NewLaneTuner(workers)
+	}
+	defer func() {
+		flushContention(visited.stats(), int64(res.Transitions), wq.Steals())
+	}()
 	var spare []uint64 // recycled merge buffer, swapped with frontier per level
 
 	prevFrontier := 1
@@ -74,22 +89,17 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 		obsLevels.Inc()
 		levelTrans := res.Transitions
 		visited.reserve(levelReserve(len(frontier), prevFrontier))
-		var cursor atomic.Int64
 		var minViol atomic.Uint64
 		minViol.Store(noViolation)
 
-		expand := func(w *bfsWorker) {
+		expand := func(w *bfsWorker, lane int) {
 			w.next = w.next[:0]
 			w.trans = 0
 			w.viols = w.viols[:0]
 			for {
-				lo := int(cursor.Add(chunkSize)) - chunkSize
-				if lo >= len(frontier) || tooLarge.Load() {
+				lo, hi, ok := wq.Next(lane)
+				if !ok || tooLarge.Load() {
 					return
-				}
-				hi := lo + chunkSize
-				if hi > len(frontier) {
-					hi = len(frontier)
 				}
 				for _, s := range frontier[lo:hi] {
 					// A violating state smaller than s already decides this
@@ -125,21 +135,31 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 			}
 		}
 
-		if len(frontier) < serialLevelThreshold {
-			expand(ws[0])
-			for _, w := range ws[1:] {
-				w.next, w.trans, w.viols = w.next[:0], 0, w.viols[:0]
-			}
+		act := workers
+		if tuner != nil {
+			act = tuner.Lanes()
+		}
+		if len(frontier) < serialLevelThreshold || act == 1 {
+			act = 1
+			wq.Reset(len(frontier), 1, chunkSize)
+			expand(ws[0], 0)
 		} else {
+			wq.Reset(len(frontier), act, chunkSize)
+			retries0 := visited.stats().Retries
+			start := time.Now()
 			var wg sync.WaitGroup
-			wg.Add(workers)
-			for _, w := range ws {
-				go func(w *bfsWorker) {
+			wg.Add(act)
+			for lane, w := range ws[:act] {
+				go func(w *bfsWorker, lane int) {
 					defer wg.Done()
-					expand(w)
-				}(w)
+					expand(w, lane)
+				}(w, lane)
 			}
 			wg.Wait()
+			if tuner != nil {
+				tuner.Observe(len(frontier), time.Since(start),
+					visited.stats().Retries-retries0)
+			}
 		}
 
 		res.States = int(states.Load())
@@ -147,7 +167,7 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 		// tripped in the same level — prefer the verdict over ErrTooLarge.
 		if mv := minViol.Load(); mv != noViolation {
 			res.Schedulable = false
-			for _, w := range ws {
+			for _, w := range ws[:act] {
 				for _, vr := range w.viols {
 					if vr.state == mv {
 						res.Violator = vr.app
@@ -163,7 +183,7 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 		}
 
 		total := 0
-		for _, w := range ws {
+		for _, w := range ws[:act] {
 			res.Transitions += w.trans
 			total += len(w.next)
 		}
@@ -172,7 +192,7 @@ func (v *Verifier) runParallel(workers int) (Result, error) {
 			spare = make([]uint64, 0, total)
 		}
 		spare = spare[:0]
-		for _, w := range ws {
+		for _, w := range ws[:act] {
 			spare = append(spare, w.next...)
 		}
 		prevFrontier = len(frontier)
@@ -204,7 +224,7 @@ type bfsWideWorker struct {
 // instead of an atomic uint64. The determinism argument is unchanged: the
 // minimum violating packed state of the first violating level does not
 // depend on frontier order or worker count.
-func (v *Verifier) runParallelWide(workers int) (Result, error) {
+func (v *Verifier) runParallelWide(workers int, auto bool) (Result, error) {
 	res := Result{Schedulable: true, Bounded: v.cfg.MaxDisturbances > 0}
 	visited := newShardedWideSet(1 << 12)
 	init := v.initialWide()
@@ -220,6 +240,14 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 	for i := range ws {
 		ws[i] = &bfsWideWorker{}
 	}
+	var wq WorkQueue
+	var tuner *LaneTuner
+	if auto {
+		tuner = NewLaneTuner(workers)
+	}
+	defer func() {
+		flushContention(visited.stats(), int64(res.Transitions), wq.Steals())
+	}()
 	var spare []wstate // recycled merge buffer, swapped with frontier per level
 
 	prevFrontier := 1
@@ -228,21 +256,16 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 		obsLevels.Inc()
 		levelTrans := res.Transitions
 		visited.reserve(levelReserve(len(frontier), prevFrontier))
-		var cursor atomic.Int64
 		var minViol atomic.Pointer[wstate]
 
-		expand := func(w *bfsWideWorker) {
+		expand := func(w *bfsWideWorker, lane int) {
 			w.next = w.next[:0]
 			w.trans = 0
 			w.viols = w.viols[:0]
 			for {
-				lo := int(cursor.Add(chunkSize)) - chunkSize
-				if lo >= len(frontier) || tooLarge.Load() {
+				lo, hi, ok := wq.Next(lane)
+				if !ok || tooLarge.Load() {
 					return
-				}
-				hi := lo + chunkSize
-				if hi > len(frontier) {
-					hi = len(frontier)
 				}
 				for _, s := range frontier[lo:hi] {
 					// A violating state smaller than s already decides this
@@ -282,21 +305,31 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 			}
 		}
 
-		if len(frontier) < serialLevelThreshold {
-			expand(ws[0])
-			for _, w := range ws[1:] {
-				w.next, w.trans, w.viols = w.next[:0], 0, w.viols[:0]
-			}
+		act := workers
+		if tuner != nil {
+			act = tuner.Lanes()
+		}
+		if len(frontier) < serialLevelThreshold || act == 1 {
+			act = 1
+			wq.Reset(len(frontier), 1, chunkSize)
+			expand(ws[0], 0)
 		} else {
+			wq.Reset(len(frontier), act, chunkSize)
+			retries0 := visited.stats().Retries
+			start := time.Now()
 			var wg sync.WaitGroup
-			wg.Add(workers)
-			for _, w := range ws {
-				go func(w *bfsWideWorker) {
+			wg.Add(act)
+			for lane, w := range ws[:act] {
+				go func(w *bfsWideWorker, lane int) {
 					defer wg.Done()
-					expand(w)
-				}(w)
+					expand(w, lane)
+				}(w, lane)
 			}
 			wg.Wait()
+			if tuner != nil {
+				tuner.Observe(len(frontier), time.Since(start),
+					visited.stats().Retries-retries0)
+			}
 		}
 
 		res.States = int(states.Load())
@@ -304,7 +337,7 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 		// tripped in the same level — prefer the verdict over ErrTooLarge.
 		if mv := minViol.Load(); mv != nil {
 			res.Schedulable = false
-			for _, w := range ws {
+			for _, w := range ws[:act] {
 				for _, vr := range w.viols {
 					if vr.state == *mv {
 						res.Violator = vr.app
@@ -320,7 +353,7 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 		}
 
 		total := 0
-		for _, w := range ws {
+		for _, w := range ws[:act] {
 			res.Transitions += w.trans
 			total += len(w.next)
 		}
@@ -329,7 +362,7 @@ func (v *Verifier) runParallelWide(workers int) (Result, error) {
 			spare = make([]wstate, 0, total)
 		}
 		spare = spare[:0]
-		for _, w := range ws {
+		for _, w := range ws[:act] {
 			spare = append(spare, w.next...)
 		}
 		prevFrontier = len(frontier)

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkQueueExactCoverage: across lanes claiming concurrently, every
+// index in [0, n) is handed out exactly once — the property the BFS
+// transition counts and the distributed fresh counts lean on.
+func TestWorkQueueExactCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, lanes, chunk int }{
+		{0, 4, 8},
+		{1, 4, 8},
+		{7, 3, 8},   // fewer items than lanes*chunk
+		{100, 4, 8}, // partitions not multiples of chunk
+		{1000, 8, 16},
+		{4096, 5, 128},
+	} {
+		var wq WorkQueue
+		wq.Reset(tc.n, tc.lanes, tc.chunk)
+		counts := make([]atomic.Int32, tc.n)
+		var wg sync.WaitGroup
+		wg.Add(tc.lanes)
+		for lane := 0; lane < tc.lanes; lane++ {
+			go func(lane int) {
+				defer wg.Done()
+				for {
+					lo, hi, ok := wq.Next(lane)
+					if !ok {
+						return
+					}
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				}
+			}(lane)
+		}
+		wg.Wait()
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("n=%d lanes=%d chunk=%d: index %d claimed %d times",
+					tc.n, tc.lanes, tc.chunk, i, c)
+			}
+		}
+	}
+}
+
+// TestWorkQueueStealsFromBusiest: a lone active lane must drain every
+// partition, counting one steal per foreign chunk, and Steals must be
+// monotone across Resets (it feeds a cumulative telemetry counter).
+func TestWorkQueueStealsFromBusiest(t *testing.T) {
+	var wq WorkQueue
+	wq.Reset(256, 4, 16)
+	seen := make([]bool, 256)
+	for {
+		lo, hi, ok := wq.Next(0) // only lane 0 ever claims
+		if !ok {
+			break
+		}
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Fatalf("index %d claimed twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never claimed", i)
+		}
+	}
+	steals := wq.Steals()
+	if steals == 0 {
+		t.Fatal("lane 0 drained three foreign partitions without a recorded steal")
+	}
+	wq.Reset(64, 2, 16)
+	for {
+		if _, _, ok := wq.Next(0); !ok {
+			break
+		}
+	}
+	if got := wq.Steals(); got < steals {
+		t.Fatalf("Steals went backwards across Reset: %d then %d", steals, got)
+	}
+}

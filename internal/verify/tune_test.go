@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLaneTunerPolicy pins the hill-climb policy: windows too small to be
+// a signal are ignored, improvement keeps the direction, regression
+// reverses it, contention forces a step down, and the walk stays clamped
+// to [1, max].
+func TestLaneTunerPolicy(t *testing.T) {
+	t.Run("singleLanePoolNeverMoves", func(t *testing.T) {
+		tu := NewLaneTuner(1)
+		tu.Observe(1_000_000, time.Second, 1_000_000)
+		if got := tu.Lanes(); got != 1 {
+			t.Fatalf("lanes = %d, want 1", got)
+		}
+	})
+	t.Run("smallWindowIgnored", func(t *testing.T) {
+		tu := NewLaneTuner(8)
+		tu.Observe(tuneMinStates-1, time.Second, 0)
+		if got := tu.Lanes(); got != 8 {
+			t.Fatalf("lanes = %d after sub-threshold window, want 8", got)
+		}
+	})
+	t.Run("contentionForcesDown", func(t *testing.T) {
+		tu := NewLaneTuner(8)
+		// Prime an upward walk, then hit it with a contended window.
+		tu.Observe(100_000, time.Second, 0) // first signal: step down (dir=-1)
+		if tu.Lanes() != 7 {
+			t.Fatalf("lanes = %d after first signal, want 7", tu.Lanes())
+		}
+		tu.Observe(80_000, time.Second, 0) // regression: reverse, step up
+		if tu.Lanes() != 8 {
+			t.Fatalf("lanes = %d after regression, want 8", tu.Lanes())
+		}
+		retries := int64(float64(100_000)*tuneRetryPerState) + 1
+		tu.Observe(100_000, time.Second, retries) // contended: forced down
+		if tu.Lanes() != 7 {
+			t.Fatalf("lanes = %d after contended window, want 7", tu.Lanes())
+		}
+	})
+	t.Run("improvementKeepsDirection", func(t *testing.T) {
+		tu := NewLaneTuner(8)
+		rate := 100_000
+		for want := 7; want >= 5; want-- { // each window 10% faster: keep stepping down
+			tu.Observe(rate, time.Second, 0)
+			if tu.Lanes() != want {
+				t.Fatalf("lanes = %d, want %d", tu.Lanes(), want)
+			}
+			rate += rate / 10
+		}
+	})
+	t.Run("clampedAtOne", func(t *testing.T) {
+		tu := NewLaneTuner(2)
+		rate := 100_000
+		for i := 0; i < 6; i++ { // ever-improving: would walk below 1 unclamped
+			tu.Observe(rate, time.Second, 0)
+			if l := tu.Lanes(); l < 1 || l > 2 {
+				t.Fatalf("lanes = %d escaped [1,2]", l)
+			}
+			rate += rate / 5
+		}
+	})
+	t.Run("plateauHolds", func(t *testing.T) {
+		tu := NewLaneTuner(8)
+		tu.Observe(100_000, time.Second, 0)
+		at := tu.Lanes()
+		tu.Observe(101_000, time.Second, 0) // within ±5%: hold
+		if tu.Lanes() != at {
+			t.Fatalf("lanes moved on a plateau: %d → %d", at, tu.Lanes())
+		}
+	})
+}
+
+// TestAutoWorkersMatchesSequential: Workers = 0 (the autotuned pool) must
+// reproduce the sequential search bit-identically on both encodings —
+// lane-count adaptation may change timing, never the verdict or the
+// exhaustive counts.
+func TestAutoWorkersMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		apps []string
+		sym  bool
+	}{
+		{"S2", []string{"C6", "C2"}, false},
+		{"S1prefix", []string{"C1", "C5", "C4"}, false},
+		{"rejected", []string{"C1", "C5", "C4", "C6"}, false},
+	} {
+		ps := caseProfiles(t, tc.apps...)
+		seq, err := Slot(ps, Config{NondetTies: true, SymmetryReduction: tc.sym, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		auto, err := Slot(ps, Config{NondetTies: true, SymmetryReduction: tc.sym, Workers: 0})
+		if err != nil {
+			t.Fatalf("%s: auto: %v", tc.name, err)
+		}
+		if auto.Schedulable != seq.Schedulable {
+			t.Errorf("%s: auto schedulable=%v, sequential=%v", tc.name, auto.Schedulable, seq.Schedulable)
+		}
+		if seq.Schedulable && (auto.States != seq.States || auto.Transitions != seq.Transitions || auto.Depth != seq.Depth) {
+			t.Errorf("%s: auto counts (%d,%d,%d), sequential (%d,%d,%d)", tc.name,
+				auto.States, auto.Transitions, auto.Depth, seq.States, seq.Transitions, seq.Depth)
+		}
+	}
+}

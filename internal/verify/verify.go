@@ -85,8 +85,10 @@ type Config struct {
 	// reconstructed. Costs ~2× memory. Tracing forces the sequential
 	// search path regardless of Workers.
 	Trace bool
-	// Workers bounds the goroutines expanding the BFS frontier. 0 uses
-	// GOMAXPROCS; 1 forces the sequential search. The parallel search
+	// Workers bounds the goroutines expanding the BFS frontier. 0 means
+	// auto: a pool of GOMAXPROCS lanes whose active count a contention-
+	// aware tuner adapts level to level (LaneTuner); 1 forces the
+	// sequential search. The parallel search
 	// shards the visited set 64-way by state hash and synchronises at
 	// level boundaries; it visits exactly the same state space, so the
 	// verdict — and, for schedulable sets, States/Transitions/Depth — is
@@ -848,19 +850,20 @@ func (v *Verifier) dispatch() (Result, error) {
 		return v.cfg.Distributed(v.profs, cfg)
 	}
 	workers := v.cfg.Workers
-	if workers <= 0 {
+	auto := workers <= 0
+	if auto {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if v.wide {
 		if workers == 1 || v.cfg.Trace {
 			return v.runSequentialWide()
 		}
-		return v.runParallelWide(workers)
+		return v.runParallelWide(workers, auto)
 	}
 	if workers == 1 || v.cfg.Trace {
 		return v.runSequential()
 	}
-	return v.runParallel(workers)
+	return v.runParallel(workers, auto)
 }
 
 // levelReserve estimates how many fresh states the coming level will
